@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* ``optm_vs_kron`` — the marginals parameterization vs generic product
+  strategies on marginal workloads (why OPT_M exists);
+* ``union_coupling`` — the surrogate-workload block descent of Problem 3
+  vs naively optimizing each attribute on its average Gram (why the
+  coupled objective matters);
+* ``union_vs_single`` — OPT_+ vs OPT_⊗ on the (R x T ∪ T x R) workload
+  (why union-of-product output strategies exist, Section 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from .common import FULL, print_table
+except ImportError:
+    from common import FULL, print_table
+
+from repro import workload as wl
+from repro.core.error import gram_inverse_trace, squared_error
+from repro.data import synthetic_domain
+from repro.linalg import Kronecker
+from repro.optimize import opt_0, opt_kron, opt_marginals, opt_union
+from repro.workload.util import as_union_of_products
+
+
+def ablation_optm_vs_kron(k: int = 2) -> dict:
+    domain = synthetic_domain(5, 8)
+    W = wl.up_to_k_marginals(domain, k)
+    marg = opt_marginals(W, rng=0).loss
+    kron = opt_kron(W, rng=0).loss
+    return {"marginals": marg, "kron": kron, "advantage": np.sqrt(kron / marg)}
+
+
+def ablation_union_coupling() -> dict:
+    """Coupled block descent vs uncoupled per-attribute optimization."""
+    W = wl.prefix_identity(64)
+    coupled = opt_kron(W, ps=[4, 4], rng=0).loss
+
+    # Uncoupled: optimize each attribute on the unweighted average Gram,
+    # ignoring the cross-attribute loss products of Theorem 6.
+    terms = as_union_of_products(W)
+    strategies = []
+    for i in range(2):
+        avg = sum(f[1][i].gram().dense() for f in terms) / len(terms)
+        strategies.append(opt_0(avg, p=4, rng=0).strategy)
+    uncoupled = squared_error(W, Kronecker(strategies))
+    return {
+        "coupled": coupled,
+        "uncoupled": uncoupled,
+        "advantage": np.sqrt(uncoupled / coupled),
+    }
+
+
+def ablation_union_vs_single(n: int = 32) -> dict:
+    W = wl.range_total_union(n)
+    single = opt_kron(W, rng=0).loss
+    union = opt_union(W, rng=0).loss
+    return {"single": single, "union": union, "advantage": np.sqrt(single / union)}
+
+
+def main() -> None:
+    r1 = ablation_optm_vs_kron()
+    r2 = ablation_union_coupling()
+    r3 = ablation_union_vs_single()
+    print_table(
+        "Ablations",
+        ["ablation", "baseline loss", "chosen-design loss", "advantage"],
+        [
+            ["OPT_M vs OPT_kron (2-way marginals, 8^5)",
+             f"{r1['kron']:.4g}", f"{r1['marginals']:.4g}",
+             f"{r1['advantage']:.2f}x"],
+            ["coupled vs uncoupled union descent (P,I 64)",
+             f"{r2['uncoupled']:.4g}", f"{r2['coupled']:.4g}",
+             f"{r2['advantage']:.2f}x"],
+            ["OPT_+ vs OPT_kron (RT ∪ TR, 32)",
+             f"{r3['single']:.4g}", f"{r3['union']:.4g}",
+             f"{r3['advantage']:.2f}x"],
+        ],
+    )
+
+
+def test_bench_ablation_optm_wins_on_marginals(benchmark):
+    r = benchmark.pedantic(ablation_optm_vs_kron, rounds=1, iterations=1)
+    assert r["advantage"] > 0.99  # OPT_M at least matches generic products
+
+
+def test_bench_ablation_coupling_never_hurts(benchmark):
+    r = benchmark.pedantic(ablation_union_coupling, rounds=1, iterations=1)
+    assert r["advantage"] > 0.99
+
+
+def test_bench_ablation_union_beats_single(benchmark):
+    r = benchmark.pedantic(ablation_union_vs_single, rounds=1, iterations=1)
+    # Section 6.2: the union strategy clearly wins on RT ∪ TR.
+    assert r["advantage"] > 1.1
+
+
+if __name__ == "__main__":
+    main()

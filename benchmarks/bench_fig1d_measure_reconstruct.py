@@ -1,0 +1,88 @@
+"""Figure 1d: runtime of MEASURE + RECONSTRUCT by strategy type.
+
+Times the noise-addition and inference steps on strategies produced by
+OPT_⊗, OPT_+ and OPT_M as the total domain size grows.  The paper's
+observation: OPT_⊗ and OPT_M strategies scale to N ≈ 10^9 thanks to
+closed-form implicit pseudo-inverses, while OPT_+ strategies stop an
+order of magnitude earlier because inference needs iterative LSMR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from .common import FULL, Timer, print_table
+except ImportError:
+    from common import FULL, Timer, print_table
+
+from repro import workload as wl
+from repro.core.measure import laplace_measure
+from repro.core.reconstruct import least_squares
+from repro.data import synthetic_domain
+from repro.optimize import opt_kron, opt_marginals, opt_union
+
+DIMS = [2, 3, 4, 5, 6, 7, 8] if FULL else [2, 3, 4, 5]
+N_PER_DIM = 16
+
+
+def _measure_reconstruct_time(strategy, n_total: int) -> float:
+    x = np.ones(n_total)
+    with Timer() as t:
+        y = laplace_measure(strategy, x, eps=1.0, rng=0)
+        least_squares(strategy, y)
+    return t.elapsed
+
+
+def compute_rows() -> list[list[str]]:
+    rows = []
+    for d in DIMS:
+        domain = synthetic_domain(d, N_PER_DIM)
+        N = domain.size()
+        W_kron = wl.prefix_2d(N_PER_DIM) if d == 2 else None
+        # Build one workload per operator family over the same domain.
+        W = wl.up_to_k_marginals(domain, min(2, d))
+        kron = opt_kron(W, rng=0).strategy
+        union = opt_union(W, rng=0, groups=2).strategy
+        marg = opt_marginals(W, rng=0).strategy
+        rows.append(
+            [f"{N_PER_DIM}^{d}={N:.0e}",
+             f"{_measure_reconstruct_time(kron, N):.3f}",
+             f"{_measure_reconstruct_time(union, N):.3f}",
+             f"{_measure_reconstruct_time(marg, N):.3f}"]
+        )
+    return rows
+
+
+def main() -> None:
+    print_table(
+        "Figure 1d: measure+reconstruct time (s) by strategy type",
+        ["N", "OPT_kron", "OPT_+", "OPT_M"], compute_rows(),
+    )
+
+
+def test_bench_fig1d_kron_reconstruct(benchmark):
+    domain = synthetic_domain(4, 16)
+    W = wl.up_to_k_marginals(domain, 2)
+    strategy = opt_kron(W, rng=0).strategy
+    N = domain.size()
+    t = benchmark.pedantic(
+        lambda: _measure_reconstruct_time(strategy, N), rounds=1, iterations=1
+    )
+    assert t < 30
+
+
+def test_bench_fig1d_union_uses_lsmr(benchmark):
+    domain = synthetic_domain(3, 16)
+    W = wl.up_to_k_marginals(domain, 2)
+    strategy = opt_union(W, rng=0).strategy
+    N = domain.size()
+    t = benchmark.pedantic(
+        lambda: _measure_reconstruct_time(strategy, N), rounds=1, iterations=1
+    )
+    assert t < 60
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 2 (Appendix C.1): OPT_0 error as a function of p.
+
+All range queries on a domain of 256; p swept over powers of two.  Paper
+shape: relative error ≈ 1.29 at p=1, dropping to ≈ 1.00 at p=16, flat
+through p=128, degrading slightly when the space becomes too expressive
+(poor local minima at p=256).  Doubles as the ablation for the p ≈ n/16
+heuristic of Section 7.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from .common import FULL, print_table
+except ImportError:
+    from common import FULL, print_table
+
+from repro.linalg import AllRange
+from repro.optimize import opt_0
+
+N = 256
+PS = [1, 2, 4, 8, 16, 32, 64, 128, 256] if FULL else [1, 2, 4, 8, 16, 32]
+RESTARTS = 3 if FULL else 2
+
+
+def sweep(ps=None) -> dict[int, float]:
+    V = AllRange(N).gram().dense()
+    losses = {p: opt_0(V, p=p, rng=0, restarts=RESTARTS).loss for p in (ps or PS)}
+    return losses
+
+
+def main() -> None:
+    losses = sweep()
+    best = min(losses.values())
+    rows = [
+        [p, f"{np.sqrt(loss / best):.3f}", f"{loss:.0f}"]
+        for p, loss in losses.items()
+    ]
+    print_table(
+        f"Figure 2: OPT_0 relative error vs p (All Range, n={N})",
+        ["p", "relative error", "loss"], rows,
+    )
+
+
+def test_bench_fig2_p_sweep(benchmark):
+    losses = benchmark.pedantic(
+        lambda: sweep([1, 4, 16]), rounds=1, iterations=1
+    )
+    # The paper's U-shape: p=1 clearly worse than p=16; p=16 ≈ optimal.
+    assert np.sqrt(losses[1] / losses[16]) > 1.1
+    assert np.sqrt(losses[4] / losses[16]) < 1.35
+
+
+if __name__ == "__main__":
+    main()

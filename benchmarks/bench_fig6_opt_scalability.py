@@ -1,0 +1,81 @@
+"""Figure 6 (Appendix C.5): scalability of OPT_0 and OPT_M in isolation.
+
+* OPT_0 time vs domain size n (paper: < 10 s at n = 1024, feasible to
+  n = 8192);
+* OPT_M time vs the number of dimensions d (paper: < 10 s at d = 10,
+  feasible to d = 14; *independent of the attribute domain sizes*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from .common import FULL, Timer, print_table
+except ImportError:
+    from common import FULL, Timer, print_table
+
+from repro import workload as wl
+from repro.data import synthetic_domain
+from repro.linalg import AllRange
+from repro.optimize import opt_0, opt_marginals
+
+OPT0_SIZES = [128, 256, 512, 1024, 2048, 4096, 8192] if FULL else [128, 256, 512, 1024]
+OPTM_DIMS = [2, 4, 6, 8, 10, 12, 14] if FULL else [2, 4, 6, 8, 10]
+
+
+def opt0_times() -> list[list[str]]:
+    rows = []
+    for n in OPT0_SIZES:
+        V = AllRange(n).gram().dense()
+        with Timer() as t:
+            opt_0(V, rng=0)
+        rows.append([n, f"{t.elapsed:.2f}"])
+    return rows
+
+
+def optm_times() -> list[list[str]]:
+    rows = []
+    for d in OPTM_DIMS:
+        domain = synthetic_domain(d, 10)
+        W = wl.up_to_k_marginals(domain, min(3, d))
+        with Timer() as t:
+            opt_marginals(W, rng=0)
+        rows.append([d, f"{t.elapsed:.2f}"])
+    return rows
+
+
+def main() -> None:
+    print_table("Figure 6 (left): OPT_0 time vs domain size",
+                ["n", "time (s)"], opt0_times())
+    print_table("Figure 6 (right): OPT_M time vs dimensions (n_i = 10)",
+                ["d", "time (s)"], optm_times())
+
+
+def test_bench_fig6_opt0_scaling(benchmark):
+    def run():
+        V = AllRange(512).gram().dense()
+        with Timer() as t:
+            opt_0(V, rng=0)
+        return t.elapsed
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert elapsed < 120
+
+
+def test_bench_fig6_optm_domain_size_independent(benchmark):
+    """OPT_M cost depends on d, not on the attribute sizes (Section 6.3)."""
+    def run(n_per_dim):
+        domain = synthetic_domain(6, n_per_dim)
+        W = wl.up_to_k_marginals(domain, 2)
+        with Timer() as t:
+            opt_marginals(W, rng=0)
+        return t.elapsed
+    t_small = benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+    t_large = run(64)
+    # A 16x larger per-attribute domain costs roughly the same.
+    assert t_large < 10 * max(t_small, 0.05)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,207 @@
+"""Table 3: the headline accuracy comparison across all configurations.
+
+Eleven workload configurations over five schemas, ε = 1.0.  Entries are
+error ratios vs HDMM (= 1.00); ``*`` marks mechanisms that are infeasible
+at the configuration (matching the paper's ``*``) and ``-`` mechanisms
+not applicable.  Data-dependent entries (DAWA, PrivBayes) are Monte-Carlo
+estimates on synthetic data vectors (DESIGN.md substitution).
+
+Paper reference shapes: HDMM is 1.00 everywhere; the best competitor
+ranges from 1.25 (GreedyH on Width 32 Range) to 3+ (Identity in high
+dimensions); LM is orders of magnitude off on range-heavy workloads;
+PrivBayes is far from competitive on SF1 (66,700x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from .common import FULL, RESTARTS, fmt_ratio, print_table, ratio, try_mechanism
+except ImportError:
+    from common import FULL, RESTARTS, fmt_ratio, print_table, ratio, try_mechanism
+
+from repro import workload as wl
+from repro.baselines import (
+    DAWA,
+    DataCube,
+    GreedyH,
+    IdentityMechanism,
+    LaplaceMechanism,
+    PrivBayes,
+    Privelet,
+    QuadTree,
+)
+from repro.baselines import HB
+from repro.data import (
+    adult_domain,
+    clustered_1d,
+    correlated_tensor,
+    cps_domain,
+    spatial_2d,
+)
+from repro.optimize import opt_hdmm
+from repro.workload import implicit_vectorize, sf1_workload
+
+EPS = 1.0
+PATENT_N = 1024 if FULL else 256
+TAXI_N = 256 if FULL else 64
+PB_TRIALS = 25 if FULL else 3
+DAWA_TRIALS = 25 if FULL else 5
+
+
+def _configs():
+    """Yield (dataset, workload-name, W, applicable extras)."""
+    yield ("Patent", "Width 32 Range", wl.width_range(PATENT_N, 32), "1d")
+    yield ("Patent", "Prefix 1D", wl.prefix_1d(PATENT_N), "1d")
+    yield ("Patent", "Permuted Range", wl.permuted_range(PATENT_N, seed=7), "1d-slow")
+    yield ("Taxi", "Prefix Identity", wl.prefix_identity(TAXI_N), "2d")
+    yield ("Taxi", "Prefix 2D", wl.prefix_2d(TAXI_N), "2d")
+    yield ("CPH", "SF1", implicit_vectorize(sf1_workload()), "highd-pb")
+    yield ("CPH", "SF1+", implicit_vectorize(sf1_workload(plus=True)), "highd")
+    yield ("Adult", "All Marginals", wl.all_marginals(adult_domain()), "marg-pb")
+    yield ("Adult", "2-way Marginals", wl.k_way_marginals(adult_domain(), 2), "marg-pb")
+    yield (
+        "CPS",
+        "All Range-Marginals",
+        wl.range_marginals(cps_domain(), numeric={"income", "age"}),
+        "highd-pb-cps",
+    )
+    yield (
+        "CPS",
+        "2-way Range-Marginals",
+        wl.range_marginals(cps_domain(), numeric={"income", "age"}, k=2),
+        "highd-pb-cps",
+    )
+
+
+def _data_vector(dataset: str, W) -> np.ndarray:
+    if dataset == "Patent":
+        return clustered_1d(PATENT_N, scale=100_000, rng=0)
+    if dataset == "Taxi":
+        return spatial_2d(TAXI_N, TAXI_N, scale=500_000, rng=0)
+    if dataset == "Adult":
+        return correlated_tensor(adult_domain(), scale=30_000, rng=0)
+    if dataset == "CPS":
+        return correlated_tensor(cps_domain(), scale=50_000, rng=0)
+    raise KeyError(dataset)
+
+
+def compute_row(dataset: str, name: str, W, kind: str) -> dict:
+    hdmm_loss = opt_hdmm(W, restarts=RESTARTS, rng=0).loss
+    hdmm_expected = 2.0 / EPS**2 * hdmm_loss
+    row: dict = {"dataset": dataset, "workload": name, "HDMM": 1.0}
+    row["Identity"] = ratio(IdentityMechanism().squared_error(W), hdmm_loss)
+    row["LM"] = ratio(LaplaceMechanism().squared_error(W), hdmm_loss)
+
+    row["Privelet"] = row["HB"] = row["QuadTree"] = row["GreedyH"] = None
+    row["DAWA"] = row["DataCube"] = row["PrivBayes"] = None
+
+    if kind.startswith("1d"):
+        row["Privelet"] = try_mechanism(
+            lambda: ratio(Privelet().squared_error(W), hdmm_loss)
+        )
+        row["HB"] = try_mechanism(lambda: ratio(HB().squared_error(W), hdmm_loss))
+        row["GreedyH"] = try_mechanism(
+            lambda: ratio(GreedyH().squared_error(W), hdmm_loss)
+        )
+        if kind == "1d":  # DAWA timed out on Permuted Range in the paper too
+            x = _data_vector(dataset, W)
+            est = DAWA().estimate_squared_error(W, x, EPS, DAWA_TRIALS, rng=1)
+            row["DAWA"] = ratio(est, hdmm_expected)
+    elif kind == "2d":
+        row["Privelet"] = try_mechanism(
+            lambda: ratio(Privelet().squared_error(W), hdmm_loss)
+        )
+        row["HB"] = try_mechanism(lambda: ratio(HB().squared_error(W), hdmm_loss))
+        row["QuadTree"] = try_mechanism(
+            lambda: ratio(QuadTree().squared_error(W), hdmm_loss)
+        )
+    elif kind.startswith("marg"):
+        row["DataCube"] = try_mechanism(
+            lambda: ratio(DataCube().squared_error(W), hdmm_loss)
+        )
+
+    if "pb" in kind and dataset in ("Adult", "CPS"):
+        domain = adult_domain() if dataset == "Adult" else cps_domain()
+        x = _data_vector(dataset, W)
+        est = PrivBayes(domain).estimate_squared_error(W, x, EPS, PB_TRIALS, rng=2)
+        row["PrivBayes"] = ratio(est, hdmm_expected)
+    elif "pb" in kind and dataset == "CPH":
+        from repro.workload import cph_domain
+
+        x = correlated_tensor(cph_domain(), scale=200_000, rng=0)
+        est = PrivBayes(cph_domain(), degree=1).estimate_squared_error(
+            W, x, EPS, trials=1 if not FULL else 5, rng=2
+        )
+        row["PrivBayes"] = ratio(est, hdmm_expected)
+    return row
+
+
+COLUMNS = [
+    "Identity", "LM", "HDMM", "Privelet", "HB", "QuadTree", "GreedyH",
+    "DAWA", "DataCube", "PrivBayes",
+]
+
+
+def main() -> None:
+    rows = []
+    for dataset, name, W, kind in _configs():
+        r = compute_row(dataset, name, W, kind)
+        rows.append(
+            [dataset, name]
+            + [fmt_ratio(r.get(c)) if r.get(c) is not None else "   -  "
+               for c in COLUMNS]
+        )
+    print_table(
+        "Table 3: error ratios vs HDMM (ε=1.0; '-' = not applicable)",
+        ["Dataset", "Workload"] + COLUMNS,
+        rows,
+    )
+
+
+def test_bench_table3_patent_prefix(benchmark):
+    row = benchmark.pedantic(
+        lambda: compute_row("Patent", "Prefix 1D", wl.prefix_1d(PATENT_N), "1d"),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: Identity 3.34, LM 151, HDMM 1.0.
+    assert row["Identity"] > 1.5
+    assert row["LM"] > 20
+    assert row["GreedyH"] is not None and row["GreedyH"] > 0.99
+
+
+def test_bench_table3_sf1(benchmark):
+    W = implicit_vectorize(sf1_workload())
+    row = benchmark.pedantic(
+        lambda: {
+            "Identity": ratio(
+                IdentityMechanism().squared_error(W),
+                opt_hdmm(W, restarts=1, rng=0).loss,
+            )
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: Identity 3.07 on SF1 — HDMM wins clearly.
+    assert row["Identity"] > 1.3
+
+
+def test_bench_table3_adult_marginals(benchmark):
+    W = wl.k_way_marginals(adult_domain(), 2)
+    def run():
+        hdmm = opt_hdmm(W, restarts=2, rng=0).loss
+        return {
+            "Identity": ratio(IdentityMechanism().squared_error(W), hdmm),
+            "LM": ratio(LaplaceMechanism().squared_error(W), hdmm),
+            "DataCube": ratio(DataCube().squared_error(W), hdmm),
+        }
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Paper: Identity 5.30, LM 2.11, DataCube 2.01 — all above 1.
+    assert min(row.values()) > 0.99
+
+
+if __name__ == "__main__":
+    main()

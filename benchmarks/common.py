@@ -1,0 +1,70 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module reproduces one table or figure of the paper.  Each has
+
+* a ``main()`` that prints the paper-style rows (run the module directly);
+* ``test_*`` functions exercising the same computation under
+  ``pytest --benchmark-only`` with assertions on the qualitative shape
+  (who wins, roughly by how much).
+
+Default problem sizes are scaled down so the whole harness completes on a
+laptop; set ``REPRO_FULL=1`` to run the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Restarts for strategy selection in benches (paper uses 25; it observes
+#: far fewer suffice — Section 8.1 / Figure 3).
+RESTARTS = 25 if FULL else 2
+
+
+def ratio(err: float, base: float) -> float:
+    """Paper error ratio: sqrt(Err_other / Err_base)."""
+    return math.sqrt(err / base)
+
+
+def fmt_ratio(r: float | None) -> str:
+    if r is None:
+        return "   *  "
+    if r >= 10000:
+        return f"{r:6.3g}"
+    return f"{r:6.2f}"
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+class Timer:
+    """Wall-clock context manager for scalability figures."""
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self.start
+        return False
+
+
+def try_mechanism(fn, timeout_hint: float | None = None):
+    """Run an error computation, mapping infeasibility to None (the paper's
+    ``*`` entries)."""
+    try:
+        return fn()
+    except (MemoryError, ValueError, NotImplementedError):
+        return None

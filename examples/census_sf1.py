@@ -1,0 +1,47 @@
+"""The paper's motivating use case: Census Summary File 1 tabulations.
+
+Builds the SF1 proxy workload over the CPH Person schema
+(Hispanic x Sex x Race x Relationship x Age — 500,480 cells; plus State
+for SF1+ at 25.5M cells), selects an HDMM strategy, and reports the
+error improvement over the Identity and Laplace baselines.  The strategy
+selection never touches data, mirroring how a statistical agency would
+fix the strategy once per decennial workload.
+
+Run:  python examples/census_sf1.py [--plus]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines import IdentityMechanism, LaplaceMechanism
+from repro.optimize import opt_hdmm
+from repro.workload import implicit_vectorize, sf1_workload
+
+
+def main(plus: bool = False) -> None:
+    name = "SF1+" if plus else "SF1"
+    wl = sf1_workload(plus=plus)
+    W = implicit_vectorize(wl)
+    print(f"{name}: {len(wl)} products, {wl.num_queries()} counting queries, "
+          f"domain size {W.shape[1]:,}")
+
+    t0 = time.time()
+    result = opt_hdmm(W, restarts=3, rng=0)
+    print(f"strategy selection took {time.time() - t0:.1f}s "
+          f"→ {type(result.strategy).__name__}")
+
+    for mech in (IdentityMechanism(), LaplaceMechanism()):
+        ratio = np.sqrt(mech.squared_error(W) / result.loss)
+        print(f"  {mech.name}: {ratio:.2f}x higher error than HDMM")
+
+    # Per-query expected RMSE at ε = 1 — the number an agency would quote.
+    rmse = np.sqrt(2.0 * result.loss / W.shape[0])
+    print(f"expected per-query RMSE at ε=1.0: {rmse:.1f} persons")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--plus", action="store_true", help="use SF1+ (state level)")
+    main(parser.parse_args().plus)

@@ -1,0 +1,42 @@
+"""Improving a state-of-the-art data-dependent mechanism with HDMM.
+
+Reproduces the idea of the paper's Appendix B.3: DAWA first partitions the
+domain into approximately-uniform buckets, then measures bucket statistics
+with a workload-aware strategy.  Swapping DAWA's GreedyH second stage for
+HDMM's OPT_0 lowers error with no change to the privacy guarantee.
+
+Run:  python examples/dawa_hybrid.py
+"""
+
+import numpy as np
+
+from repro.baselines import DAWA
+from repro.data import DPBENCH_1D
+from repro.workload import prefix_1d
+
+DOMAIN = 1024
+SCALE = 100_000
+EPS = float(np.sqrt(2.0))  # the ε used in the paper's Table 6
+TRIALS = 10
+
+
+def main() -> None:
+    W = prefix_1d(DOMAIN)
+    print(f"Prefix workload on n={DOMAIN}, ε=√2, {TRIALS} trials per dataset\n")
+    print(f"{'dataset':12s} {'DAWA':>12s} {'DAWA+HDMM':>12s} {'improvement':>12s}")
+    for name, gen in DPBENCH_1D.items():
+        x = gen(DOMAIN, SCALE, 0)
+        original = DAWA(stage2="greedyh").estimate_squared_error(
+            W, x, eps=EPS, trials=TRIALS, rng=1
+        )
+        improved = DAWA(stage2="hdmm").estimate_squared_error(
+            W, x, eps=EPS, trials=TRIALS, rng=1
+        )
+        print(
+            f"{name:12s} {original:12.3g} {improved:12.3g} "
+            f"{np.sqrt(original / improved):11.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

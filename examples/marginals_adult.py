@@ -1,0 +1,51 @@
+"""Marginal tabulations on the Adult schema — the OPT_M showcase.
+
+Builds the workload of all 1- and 2-way marginals over the UCI Adult
+domain (75 x 16 x 5 x 2 x 20), optimizes a *marginals* strategy with
+OPT_M, and runs the full mechanism end-to-end on synthetic correlated
+microdata, reporting per-marginal empirical error next to the closed-form
+expectation.
+
+Run:  python examples/marginals_adult.py
+"""
+
+import numpy as np
+
+from repro import HDMM
+from repro.core import expected_error
+from repro.data import adult_domain, correlated_tensor
+from repro.linalg import index_to_subset
+from repro.workload import as_union_of_products, up_to_k_marginals
+
+EPS = 1.0
+
+
+def main() -> None:
+    domain = adult_domain()
+    W = up_to_k_marginals(domain, 2)
+    terms = as_union_of_products(W)
+    print(f"Adult domain {domain} — {len(terms)} marginals, "
+          f"{W.shape[0]} counting queries")
+
+    mech = HDMM(restarts=3, rng=0).fit(W)
+    strategy = mech.strategy
+    print(f"selected: {strategy}")
+    if hasattr(strategy, "theta"):
+        print("measured marginals (weight > 1%):")
+        for a in np.nonzero(strategy.theta > 0.01)[0]:
+            subset = index_to_subset(int(a), domain.attributes)
+            label = " x ".join(subset) if subset else "(total)"
+            print(f"  {label:30s} weight {strategy.theta[a]:.3f}")
+
+    x = correlated_tensor(domain, scale=50_000, rng=0)
+    answers = mech.run(x, eps=EPS, rng=1)
+    truth = W.matvec(x)
+    emp = float(np.sum((answers - truth) ** 2))
+    exp = expected_error(W, strategy, EPS)
+    print(f"total squared error: empirical {emp:.3g} vs expected {exp:.3g}")
+    print(f"per-query RMSE: {np.sqrt(emp / W.shape[0]):.2f} "
+          f"(true counts average {truth.mean():.0f})")
+
+
+if __name__ == "__main__":
+    main()

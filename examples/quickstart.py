@@ -1,0 +1,47 @@
+"""Quickstart: answer a range-query workload under differential privacy.
+
+Builds the workload of *all* range queries over a 1-D domain, lets HDMM
+select an optimized measurement strategy, runs the private mechanism, and
+compares its accuracy against the two baselines everyone starts from —
+the Laplace Mechanism (noise per query) and Identity (noise per cell).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HDMM, workload
+from repro.baselines import IdentityMechanism, LaplaceMechanism
+from repro.core import error_ratio
+
+DOMAIN_SIZE = 256
+EPS = 1.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. The workload: all contiguous range queries on a domain of 256 bins.
+    W = workload.all_range(DOMAIN_SIZE)
+    print(f"workload: {W.shape[0]} range queries over {DOMAIN_SIZE} bins")
+
+    # 2. SELECT — data-independent, reusable across datasets and ε values.
+    mech = HDMM(restarts=3, rng=0).fit(W)
+    print(f"selected strategy: {mech.strategy}")
+
+    # 3. MEASURE + RECONSTRUCT on a synthetic histogram.
+    x = rng.poisson(100, DOMAIN_SIZE).astype(float)
+    answers = mech.run(x, eps=EPS, rng=1)
+    truth = W.matvec(x)
+    emp_rmse = np.sqrt(np.mean((answers - truth) ** 2))
+    print(f"empirical per-query RMSE at ε={EPS}: {emp_rmse:.2f}")
+    print(f"expected per-query RMSE (closed form): {mech.expected_rootmse(EPS):.2f}")
+
+    # 4. How much did optimization buy us?
+    for baseline in (LaplaceMechanism(), IdentityMechanism()):
+        ratio = np.sqrt(baseline.squared_error(W) / mech.result.loss)
+        print(f"error ratio vs {baseline.name}: {ratio:.2f}x better")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of HDMM (McKenna et al., VLDB 2018).
+
+The High-Dimensional Matrix Mechanism answers workloads of predicate
+counting queries under ε-differential privacy, selecting a measurement
+strategy optimized for the workload via implicit Kronecker-product
+representations.
+
+Quickstart::
+
+    import numpy as np
+    from repro import HDMM, workload
+
+    W = workload.prefix_1d(256)          # all prefix/CDF queries
+    mech = HDMM(restarts=3, rng=0).fit(W)
+    x = np.random.default_rng(0).poisson(100, 256).astype(float)
+    answers = mech.run(x, eps=1.0, rng=1)
+
+Package layout:
+
+* :mod:`repro.linalg`    — implicit matrix algebra (Kronecker, stacks,
+  marginals algebra, structured workloads);
+* :mod:`repro.workload`  — logical workloads, ImpVec, experiment builders;
+* :mod:`repro.optimize`  — OPT_0 / OPT_⊗ / OPT_+ / OPT_M / OPT_HDMM;
+* :mod:`repro.core`      — error metrics, measure, reconstruct, HDMM;
+* :mod:`repro.baselines` — the eleven comparison mechanisms of Section 8;
+* :mod:`repro.data`      — dataset schemas and synthetic data generators.
+"""
+
+from . import core, linalg, optimize, workload
+from .core import HDMM, error_ratio, expected_error, rootmse, squared_error
+from .domain import Domain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Domain",
+    "HDMM",
+    "core",
+    "error_ratio",
+    "expected_error",
+    "linalg",
+    "error_ratio",
+    "optimize",
+    "rootmse",
+    "squared_error",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""The comparison mechanisms of paper Section 8.
+
+===============  ======================  ==============================
+Mechanism        Scope                   Search space
+===============  ======================  ==============================
+Identity         any                     {I}
+LaplaceMechanism any                     {W}
+Privelet         range workloads         Haar wavelet (fixed)
+HB               range workloads         b-ary hierarchies
+QuadTree         2-D range workloads     matched-level grid hierarchy
+GreedyH          1-D workloads           weighted binary hierarchy
+DataCube         marginal workloads      sets of marginals (greedy)
+LRM              any (small N)           rank-r strategies (gradient)
+MatrixMechanism  any (tiny N)            full space (SDP stand-in)
+DAWA             1-D, data-dependent     partition + weighted hierarchy
+PrivBayes        any, data-dependent     Bayesian network synthesis
+===============  ======================  ==============================
+"""
+
+from .base import DataDependentMechanism, StrategyMechanism
+from .datacube import DataCube
+from .dawa import DAWA
+from .greedyh import GreedyH
+from .hb import HB, hb_branching
+from .identity import IdentityMechanism
+from .laplace import LaplaceMechanism
+from .lrm import LRM
+from .mm import MatrixMechanism
+from .privbayes import PrivBayes
+from .privelet import Privelet
+from .quadtree import QuadTree
+
+__all__ = [
+    "DAWA",
+    "DataCube",
+    "DataDependentMechanism",
+    "GreedyH",
+    "HB",
+    "IdentityMechanism",
+    "LRM",
+    "LaplaceMechanism",
+    "MatrixMechanism",
+    "PrivBayes",
+    "Privelet",
+    "QuadTree",
+    "StrategyMechanism",
+    "hb_branching",
+]

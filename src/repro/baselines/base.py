@@ -1,0 +1,99 @@
+"""Common interface for the comparison mechanisms of paper Section 8.
+
+Data-independent mechanisms are *strategy mechanisms*: they choose a
+measurement strategy from the workload alone, so their expected error has
+the closed form of Definition 7 and can be compared analytically.
+Data-dependent mechanisms (DAWA, PrivBayes) expose ``answer`` instead and
+are compared by Monte-Carlo estimation of their error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.error import expected_error, squared_error
+from ..core.measure import laplace_measure
+from ..core.reconstruct import answer_workload, least_squares
+from ..linalg import Matrix
+
+
+class StrategyMechanism:
+    """A select-measure-reconstruct mechanism defined by its strategy rule.
+
+    Subclasses implement :meth:`select`, mapping a workload to a
+    sensitivity-normalized strategy matrix.
+    """
+
+    name: str = "strategy-mechanism"
+
+    def select(self, W: Matrix) -> Matrix:
+        """Choose a measurement strategy for the workload (data-free)."""
+        raise NotImplementedError
+
+    def squared_error(self, W: Matrix) -> float:
+        """``‖A‖₁²·‖WA⁺‖_F²`` — expected total squared error at ε = √2."""
+        return squared_error(W, self.select(W))
+
+    def expected_error(self, W: Matrix, eps: float = 1.0) -> float:
+        """Definition 7 expected total squared error."""
+        return expected_error(W, self.select(W), eps)
+
+    def answer(
+        self,
+        W: Matrix,
+        x: np.ndarray,
+        eps: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Run select-measure-reconstruct and answer the workload."""
+        A = self.select(W)
+        y = laplace_measure(A, x, eps, rng)
+        x_hat = least_squares(A, y)
+        return answer_workload(W, x_hat)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DataDependentMechanism:
+    """A mechanism whose error depends on the input data.
+
+    Subclasses implement :meth:`answer`; error is estimated empirically by
+    :meth:`estimate_squared_error` over repeated trials (the paper uses
+    average error across 25 random trials for DAWA and PrivBayes).
+    """
+
+    name: str = "data-dependent-mechanism"
+
+    def answer(
+        self,
+        W: Matrix,
+        x: np.ndarray,
+        eps: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def estimate_squared_error(
+        self,
+        W: Matrix,
+        x: np.ndarray,
+        eps: float = 1.0,
+        trials: int = 25,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Average total squared error over Monte-Carlo trials.
+
+        Returned on the same scale as
+        :meth:`StrategyMechanism.expected_error` so ratios are comparable.
+        """
+        rng = np.random.default_rng(rng)
+        truth = W.matvec(np.asarray(x, dtype=np.float64))
+        total = 0.0
+        for _ in range(trials):
+            est = self.answer(W, x, eps, rng)
+            total += float(np.sum((est - truth) ** 2))
+        return total / trials
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,24 @@
+"""The Identity baseline (paper Section 8.1).
+
+Adds Laplace noise to every cell of the data vector and answers the
+workload from the noisy vector.  Sensitivity 1, works for any workload in
+any dimension; accurate when workload queries aggregate few cells, poor
+when they aggregate many (each aggregated cell contributes noise).
+"""
+
+from __future__ import annotations
+
+from ..linalg import Identity as IdentityMatrix
+from ..linalg import Kronecker, Matrix
+from ..workload.util import attribute_sizes
+from .base import StrategyMechanism
+
+
+class IdentityMechanism(StrategyMechanism):
+    """Strategy = the identity matrix over the full domain."""
+
+    name = "Identity"
+
+    def select(self, W: Matrix) -> Matrix:
+        sizes = attribute_sizes(W)
+        return Kronecker([IdentityMatrix(n) for n in sizes])

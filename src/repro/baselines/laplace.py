@@ -1,0 +1,42 @@
+"""The Laplace Mechanism baseline (LM, paper Section 8.1).
+
+Answers each workload query directly with Laplace noise scaled to the
+workload's own L1 sensitivity — the classic per-query approach that fails
+to exploit workload structure.  There is no reconstruction step, so its
+expected total squared error is ``m · 2(‖W‖₁/ε)²``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.error import laplace_mechanism_error
+from ..core.measure import laplace_measure
+from ..linalg import Matrix
+from .base import StrategyMechanism
+
+
+class LaplaceMechanism(StrategyMechanism):
+    """Direct noisy answering of the workload (strategy = workload)."""
+
+    name = "LM"
+
+    def select(self, W: Matrix) -> Matrix:
+        return W
+
+    def squared_error(self, W: Matrix) -> float:
+        # No inference: every query independently carries the full noise,
+        # rather than the least-squares error of Definition 7.
+        return laplace_mechanism_error(W)
+
+    def expected_error(self, W: Matrix, eps: float = 1.0) -> float:
+        return 2.0 / eps**2 * laplace_mechanism_error(W)
+
+    def answer(
+        self,
+        W: Matrix,
+        x: np.ndarray,
+        eps: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        return laplace_measure(W, x, eps, rng)

@@ -1,0 +1,58 @@
+"""LRM: the Low-Rank Mechanism [Yuan et al. 2012].
+
+LRM factorizes the workload ``W = B L`` with a low-rank strategy ``L``
+(r x n) and minimizes ``‖L‖₁² ‖B‖_F²`` — exactly the matrix-mechanism
+objective restricted to rank-r strategies.  With ``B = W L⁺`` optimal for
+fixed L, the problem reduces to gradient search over column-normalized
+r x n strategies: ``min_L tr[(LᵀL)⁺ WᵀW]``, which is what
+:func:`repro.optimize.opt_general` solves.  Each iteration costs O(n³)
+because nothing constrains the search space — LRM is only feasible on
+domains where the workload fits as a dense matrix, reproducing the
+scalability wall of Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import Matrix
+from ..optimize.opt_general import opt_general
+from .base import StrategyMechanism
+
+#: Beyond this domain size the dense optimization is declared infeasible,
+#: mirroring the paper's 30-minute timeout behaviour.
+LRM_MAX_DOMAIN = 16384
+
+
+class LRM(StrategyMechanism):
+    """Alternating low-rank factorization via full-space gradient search."""
+
+    name = "LRM"
+
+    def __init__(
+        self,
+        rank: int | None = None,
+        restarts: int = 1,
+        maxiter: int = 300,
+        rng: int | None = 0,
+    ):
+        self.rank = rank
+        self.restarts = restarts
+        self.maxiter = maxiter
+        self.rng = rng
+
+    def select(self, W: Matrix) -> Matrix:
+        n = W.shape[1]
+        if n > LRM_MAX_DOMAIN:
+            raise MemoryError(
+                f"LRM requires dense optimization over N={n} — infeasible "
+                f"(limit {LRM_MAX_DOMAIN}); see paper Figure 1"
+            )
+        V = W.gram().dense()
+        # Rank must reach rank(W) for support; default to full rank of V.
+        r = self.rank or n
+        result = opt_general(
+            V, p=max(r, n), rng=self.rng, restarts=self.restarts,
+            maxiter=self.maxiter,
+        )
+        return result.strategy

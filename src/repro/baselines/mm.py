@@ -1,0 +1,42 @@
+"""MM: the original Matrix Mechanism [Li et al. 2010/2015].
+
+The exact MM solves a rank-constrained semidefinite program with
+O(m⁴(m⁴+N⁴)) complexity — infeasible on any non-trivial input (every MM
+cell of the paper's Table 3 is ``*``).  This class reproduces that
+behaviour: it refuses domains above a small threshold, and below it runs
+the full-space gradient solver (the best tractable approximation of the
+SDP's search space) with several restarts.
+"""
+
+from __future__ import annotations
+
+from ..linalg import Matrix
+from ..optimize.opt_general import opt_general
+from .base import StrategyMechanism
+
+#: The SDP-equivalent search is only attempted on tiny domains.
+MM_MAX_DOMAIN = 256
+
+
+class MatrixMechanism(StrategyMechanism):
+    """Full strategy-space search; infeasible beyond toy domains."""
+
+    name = "MM"
+
+    def __init__(self, restarts: int = 3, maxiter: int = 1000, rng: int | None = 0):
+        self.restarts = restarts
+        self.maxiter = maxiter
+        self.rng = rng
+
+    def select(self, W: Matrix) -> Matrix:
+        n = W.shape[1]
+        if n > MM_MAX_DOMAIN:
+            raise MemoryError(
+                f"Matrix Mechanism SDP is infeasible for N={n} "
+                f"(limit {MM_MAX_DOMAIN}); see paper Section 5.1"
+            )
+        V = W.gram().dense()
+        result = opt_general(
+            V, rng=self.rng, restarts=self.restarts, maxiter=self.maxiter
+        )
+        return result.strategy

@@ -1,0 +1,40 @@
+"""Privelet: differential privacy via wavelet transforms [Xiao et al. 2011].
+
+The strategy is the Haar wavelet basis over each (power-of-two padded)
+attribute domain; in multiple dimensions the strategy is the Kronecker
+product of per-attribute wavelets (the paper's multi-dimensional nonstandard
+decomposition).  Designed for range-query workloads: any range is a
+combination of O(log n) wavelet coefficients, so reconstruction noise grows
+polylogarithmically — but the strategy is fixed, not workload-adaptive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import Dense, Kronecker, Matrix, SparseMatrix, haar_wavelet
+from ..workload.util import attribute_sizes
+from .base import StrategyMechanism
+
+
+def _padded_wavelet(n: int) -> Matrix:
+    """Haar wavelet on n columns, truncating a padded power-of-two basis."""
+    size = 1 << (n - 1).bit_length()
+    H = haar_wavelet(size)
+    if size == n:
+        return H
+    # Drop the padding columns; rows that become all-zero are removed.
+    D = H.dense()[:, :n]
+    keep = np.abs(D).sum(axis=1) > 0
+    return Dense(D[keep])
+
+
+class Privelet(StrategyMechanism):
+    """Haar-wavelet strategy, one wavelet per attribute."""
+
+    name = "Privelet"
+
+    def select(self, W: Matrix) -> Matrix:
+        sizes = attribute_sizes(W)
+        factors = [_padded_wavelet(n) for n in sizes]
+        return factors[0] if len(factors) == 1 else Kronecker(factors)

@@ -1,0 +1,35 @@
+"""HDMM core: error metrics, measurement, reconstruction, the mechanism."""
+
+from .error import (
+    error_ratio,
+    expected_error,
+    gram_inverse_trace,
+    laplace_mechanism_error,
+    rootmse,
+    squared_error,
+    supports,
+    workload_marginal_traces,
+)
+from .hdmm import HDMM
+from .measure import laplace_measure, laplace_noise, measurement_variance
+from .privacy import PrivacyLedger, sensitivity_of
+from .reconstruct import answer_workload, least_squares
+
+__all__ = [
+    "HDMM",
+    "PrivacyLedger",
+    "answer_workload",
+    "error_ratio",
+    "expected_error",
+    "gram_inverse_trace",
+    "laplace_mechanism_error",
+    "laplace_measure",
+    "laplace_noise",
+    "least_squares",
+    "measurement_variance",
+    "rootmse",
+    "sensitivity_of",
+    "squared_error",
+    "supports",
+    "workload_marginal_traces",
+]

@@ -1,0 +1,108 @@
+"""The end-to-end HDMM mechanism (paper Table 1b and Section 7).
+
+::
+
+    W = ImpVec(workload)          # compact implicit representation
+    A = OPT_HDMM(W)               # optimized strategy selection
+    a = Multiply(A, x)            # strategy query answering
+    y = a + Lap(‖A‖₁/ε)           # noise addition          (MEASURE)
+    x̄ = LstSqr(A, y)              # inference               (RECONSTRUCT)
+    ans = Multiply(W, x̄)          # workload answering
+
+Strategy selection is data-independent: ``HDMM.fit`` can be run once per
+workload and the fitted mechanism reused across datasets and ε values
+(Section 3.6 — the Census SF1 workload changes only every 10 years).
+
+Privacy (Theorem 7): ImpVec and OPT_HDMM never touch the data; the only
+data access is the Laplace measurement, and everything after it is
+post-processing, so HDMM is ε-differentially private.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import Matrix
+from ..optimize import OptResult, opt_hdmm
+from ..workload.logical import LogicalWorkload, implicit_vectorize
+from .error import expected_error, rootmse
+from .measure import laplace_measure
+from .reconstruct import answer_workload, least_squares
+
+
+class HDMM:
+    """High-Dimensional Matrix Mechanism.
+
+    Parameters
+    ----------
+    restarts:
+        Random restarts S for strategy selection (Algorithm 2).
+    rng:
+        Seed or Generator controlling both strategy-selection restarts
+        and (via :meth:`run`'s own argument) noise generation.
+
+    Examples
+    --------
+    >>> from repro import workload as wl
+    >>> mech = HDMM(restarts=3, rng=0)
+    >>> mech.fit(wl.prefix_1d(64))
+    >>> answers = mech.run(x, eps=1.0, rng=7)   # doctest: +SKIP
+    """
+
+    def __init__(
+        self, restarts: int = 25, rng: np.random.Generator | int | None = None
+    ):
+        self.restarts = restarts
+        self.rng = np.random.default_rng(rng)
+        self.workload: Matrix | None = None
+        self.strategy: Matrix | None = None
+        self.result: OptResult | None = None
+
+    # -- SELECT -----------------------------------------------------------
+    def fit(self, workload: Matrix | LogicalWorkload, **opt_kwargs) -> "HDMM":
+        """Vectorize (if logical) and select a strategy.  Data-independent."""
+        if isinstance(workload, LogicalWorkload):
+            workload = implicit_vectorize(workload)
+        self.workload = workload
+        self.result = opt_hdmm(
+            workload, restarts=self.restarts, rng=self.rng, **opt_kwargs
+        )
+        self.strategy = self.result.strategy
+        return self
+
+    def _require_fitted(self) -> Matrix:
+        if self.strategy is None or self.workload is None:
+            raise RuntimeError("call fit(workload) before running the mechanism")
+        return self.strategy
+
+    # -- MEASURE + RECONSTRUCT ---------------------------------------------
+    def run(
+        self,
+        x: np.ndarray,
+        eps: float,
+        rng: np.random.Generator | int | None = None,
+        return_data_vector: bool = False,
+    ):
+        """Answer the fitted workload on data vector ``x`` under ε-DP.
+
+        Returns the noisy workload answers; with
+        ``return_data_vector=True`` also returns the inferred x̄.
+        """
+        A = self._require_fitted()
+        y = laplace_measure(A, x, eps, rng)
+        x_hat = least_squares(A, y)
+        answers = answer_workload(self.workload, x_hat)
+        if return_data_vector:
+            return answers, x_hat
+        return answers
+
+    # -- diagnostics ---------------------------------------------------------
+    def expected_error(self, eps: float = 1.0) -> float:
+        """Definition 7 expected total squared error of the fitted strategy."""
+        self._require_fitted()
+        return expected_error(self.workload, self.strategy, eps)
+
+    def expected_rootmse(self, eps: float = 1.0) -> float:
+        """Per-query root mean squared error of the fitted strategy."""
+        self._require_fitted()
+        return rootmse(self.workload, self.strategy, eps)

@@ -1,0 +1,51 @@
+"""MEASURE: the Laplace mechanism in vector form (paper Definition 6).
+
+Given a strategy matrix A and a data vector x, releases::
+
+    y = A x + Lap(‖A‖₁ / ε)^m
+
+which is ε-differentially private because ``‖A‖₁`` (the maximum absolute
+column sum) equals the L1 sensitivity of the strategy query set: one
+record added to or removed from the database changes each column of the
+answer vector by at most that column's absolute sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg import Matrix
+
+
+def laplace_noise(
+    scale: float, size: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Draw ``size`` i.i.d. Laplace(0, scale) samples."""
+    rng = np.random.default_rng(rng)
+    if scale < 0:
+        raise ValueError("noise scale must be non-negative")
+    if scale == 0:
+        return np.zeros(size)
+    return rng.laplace(0.0, scale, size)
+
+
+def laplace_measure(
+    A: Matrix,
+    x: np.ndarray,
+    eps: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """The ε-differentially-private measurement ``y = Ax + Lap(‖A‖₁/ε)``."""
+    if eps <= 0:
+        raise ValueError("privacy budget eps must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (A.shape[1],):
+        raise ValueError(f"data vector must have length {A.shape[1]}, got {x.shape}")
+    answers = A.matvec(x)
+    scale = A.sensitivity() / eps
+    return answers + laplace_noise(scale, answers.shape[0], rng)
+
+
+def measurement_variance(A: Matrix, eps: float) -> float:
+    """Per-measurement noise variance ``2(‖A‖₁/ε)²``."""
+    return 2.0 * (A.sensitivity() / eps) ** 2

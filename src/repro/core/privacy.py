@@ -1,0 +1,52 @@
+"""Differential privacy definitions and accounting (paper Section 3.5).
+
+The mechanisms in this library satisfy pure ε-differential privacy
+(Definition 5 with δ = 0) through the Laplace mechanism; everything
+downstream of the noisy measurement is post-processing and consumes no
+additional budget.  :class:`PrivacyLedger` provides simple sequential
+composition accounting for pipelines that split the budget across stages
+(e.g. DAWA's partition + measurement stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PrivacyLedger:
+    """Sequential-composition budget tracker.
+
+    Stages register their spend with :meth:`spend`; exceeding the total
+    budget raises immediately, making over-spending a programming error
+    rather than a silent privacy violation.
+    """
+
+    epsilon: float
+    spent: float = 0.0
+    stages: list[tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("total budget must be positive")
+
+    def spend(self, amount: float, stage: str = "") -> float:
+        """Consume ``amount`` of budget; returns the amount for chaining."""
+        if amount <= 0:
+            raise ValueError("budget spend must be positive")
+        if self.spent + amount > self.epsilon * (1 + 1e-12):
+            raise ValueError(
+                f"privacy budget exceeded: {self.spent} + {amount} > {self.epsilon}"
+            )
+        self.spent += amount
+        self.stages.append((stage, amount))
+        return amount
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.epsilon - self.spent)
+
+
+def sensitivity_of(A) -> float:
+    """L1 sensitivity of a strategy matrix — ``‖A‖₁`` (Definition 6)."""
+    return A.sensitivity()

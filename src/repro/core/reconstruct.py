@@ -1,0 +1,71 @@
+"""RECONSTRUCT: inference and workload answering (paper Section 7.2).
+
+Given noisy strategy answers ``y ≈ Ax``, inference computes the least
+squares estimate ``x̄ = A⁺y`` and the workload answers ``W x̄``.  HDMM
+never materializes A or A⁺:
+
+* product strategies — ``(A1 ⊗ ... ⊗ Ad)⁺ = A1⁺ ⊗ ... ⊗ Ad⁺`` applied by
+  the Kronecker mat-vec (Algorithm 1);
+* marginal strategies — ``M⁺ = (MᵀM)⁺Mᵀ`` with the Gram inverse computed
+  in the O(4^d) marginals algebra;
+* union-of-product strategies — no structured pseudo-inverse exists, so
+  the least squares problem is solved iteratively with LSMR, which only
+  needs mat-vec products with A and Aᵀ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, lsmr
+
+from ..linalg import Kronecker, MarginalsStrategy, Matrix, VStack, Weighted
+from ..optimize.opt0 import PIdentity
+
+
+def _has_structured_pinv(A: Matrix) -> bool:
+    if isinstance(A, (MarginalsStrategy, PIdentity)):
+        return True
+    if isinstance(A, Weighted):
+        return _has_structured_pinv(A.base)
+    if isinstance(A, Kronecker):
+        return all(_has_structured_pinv(f) or min(f.shape) <= 4096 for f in A.factors)
+    return min(A.shape) <= 4096  # small enough for a dense pseudo-inverse
+
+
+def least_squares(
+    A: Matrix,
+    y: np.ndarray,
+    method: str = "auto",
+    atol: float = 1e-10,
+    btol: float = 1e-10,
+    maxiter: int | None = None,
+) -> np.ndarray:
+    """Solve ``min_x ‖Ax - y‖₂`` using the strategy's structure.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` (structured pseudo-inverse when available, else LSMR),
+        ``"pinv"`` (force the structured/dense pseudo-inverse), or
+        ``"lsmr"`` (force the iterative solver).
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.shape != (A.shape[0],):
+        raise ValueError(f"y must have length {A.shape[0]}, got {y.shape}")
+    if method not in ("auto", "pinv", "lsmr"):
+        raise ValueError(f"unknown method {method!r}")
+
+    use_pinv = method == "pinv" or (method == "auto" and _has_structured_pinv(A))
+    if use_pinv and not isinstance(A, VStack):
+        return A.pinv().matvec(y)
+
+    op = LinearOperator(
+        shape=A.shape, matvec=A.matvec, rmatvec=A.rmatvec, dtype=np.float64
+    )
+    result = lsmr(op, y, atol=atol, btol=btol, maxiter=maxiter)
+    return result[0]
+
+
+def answer_workload(W: Matrix, x_hat: np.ndarray) -> np.ndarray:
+    """Final RECONSTRUCT step: the workload answers ``W x̄``."""
+    return W.matvec(np.asarray(x_hat, dtype=np.float64))

@@ -1,0 +1,31 @@
+"""Dataset schemas and synthetic data generators (Section 8.1)."""
+
+from .datasets import (
+    DPBENCH_1D,
+    clustered_1d,
+    correlated_tensor,
+    powerlaw_1d,
+    spatial_2d,
+)
+from .schemas import (
+    adult_domain,
+    cph_domain,
+    cps_domain,
+    patent_domain,
+    synthetic_domain,
+    taxi_domain,
+)
+
+__all__ = [
+    "DPBENCH_1D",
+    "adult_domain",
+    "clustered_1d",
+    "correlated_tensor",
+    "cph_domain",
+    "cps_domain",
+    "patent_domain",
+    "powerlaw_1d",
+    "spatial_2d",
+    "synthetic_domain",
+    "taxi_domain",
+]

@@ -1,0 +1,50 @@
+"""Dataset schemas used in the paper's experiments (Section 8.1).
+
+Five datasets cover the low- and high-dimensional cases.  Most compared
+algorithms are data-independent — their error depends only on the schema —
+so these domains are the load-bearing artifact; the synthetic generators
+in :mod:`repro.data.datasets` supply data vectors for the two
+data-dependent algorithms (DAWA, PrivBayes).
+"""
+
+from __future__ import annotations
+
+from ..domain import Domain
+
+
+def patent_domain(n: int = 1024) -> Domain:
+    """Patent (DPBench): 1-D histogram domain, default size 1024."""
+    return Domain(["value"], [n])
+
+
+def taxi_domain(n: int = 256) -> Domain:
+    """BeijingTaxiE (DPBench): 2-D spatial grid, default 256 x 256."""
+    return Domain(["x", "y"], [n, n])
+
+
+def adult_domain() -> Domain:
+    """UCI Adult: age, education, race, sex, hours-per-week.
+
+    Table 3 lists the domain as 75 x 16 x 5 x 2 x 20.
+    """
+    return Domain(
+        ["age", "education", "race", "sex", "hours"], [75, 16, 5, 2, 20]
+    )
+
+
+def cps_domain() -> Domain:
+    """March-2000 Current Population Survey: income, age, marital status,
+    race, sex.  Table 3 lists the domain as 100 x 50 x 7 x 4 x 2."""
+    return Domain(["income", "age", "marital", "race", "sex"], [100, 50, 7, 4, 2])
+
+
+def cph_domain(include_state: bool = True) -> Domain:
+    """Census of Population and Housing (Section 2): the SF1 schema."""
+    from ..workload.sf1 import cph_domain as _cph
+
+    return _cph(include_state)
+
+
+def synthetic_domain(d: int, n: int) -> Domain:
+    """d attributes of equal size n (the scalability experiments)."""
+    return Domain([f"a{i}" for i in range(d)], [n] * d)

@@ -1,0 +1,105 @@
+"""Relational domain model (paper Section 3.1).
+
+A :class:`Domain` describes the single-table schema ``R(A1 ... Ad)``: an
+ordered list of attribute names together with the finite size of each
+attribute's domain.  The *full domain* of ``R`` is the cross product of the
+attribute domains; its size ``N = n1 * ... * nd`` is the length of the data
+vector used throughout the select-measure-reconstruct paradigm.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+class Domain:
+    """An ordered mapping from attribute names to finite domain sizes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in the order used for vectorization.
+    sizes:
+        Domain size ``n_i = |dom(A_i)|`` for each attribute, aligned with
+        ``attributes``.
+    """
+
+    def __init__(self, attributes: Iterable[str], sizes: Iterable[int]):
+        self.attributes = tuple(attributes)
+        self.sizes = tuple(int(n) for n in sizes)
+        if len(self.attributes) != len(self.sizes):
+            raise ValueError(
+                "attributes and sizes must have equal length, got "
+                f"{len(self.attributes)} and {len(self.sizes)}"
+            )
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError("attribute names must be unique")
+        if any(n <= 0 for n in self.sizes):
+            raise ValueError("all domain sizes must be positive")
+        self._index = {a: i for i, a in enumerate(self.attributes)}
+
+    @classmethod
+    def fromdict(cls, mapping: Mapping[str, int]) -> "Domain":
+        """Build a domain from an ordered ``{attribute: size}`` mapping."""
+        return cls(mapping.keys(), mapping.values())
+
+    def size(self, attr: str | None = None) -> int:
+        """Total domain size ``N``, or the size of a single attribute."""
+        if attr is None:
+            return math.prod(self.sizes)
+        return self.sizes[self._index[attr]]
+
+    def index(self, attr: str) -> int:
+        """Position of ``attr`` in the attribute ordering."""
+        return self._index[attr]
+
+    def project(self, attrs: Iterable[str]) -> "Domain":
+        """The sub-domain over ``attrs``, keeping this domain's order."""
+        keep = set(attrs)
+        unknown = keep - set(self.attributes)
+        if unknown:
+            raise KeyError(f"unknown attributes: {sorted(unknown)}")
+        pairs = [(a, n) for a, n in zip(self.attributes, self.sizes) if a in keep]
+        return Domain([a for a, _ in pairs], [n for _, n in pairs])
+
+    def marginalize(self, attrs: Iterable[str]) -> "Domain":
+        """The sub-domain over all attributes *except* ``attrs``."""
+        drop = set(attrs)
+        return self.project(a for a in self.attributes if a not in drop)
+
+    def merge(self, other: "Domain") -> "Domain":
+        """Union of two domains; shared attributes must agree on size."""
+        sizes = dict(zip(self.attributes, self.sizes))
+        for a, n in zip(other.attributes, other.sizes):
+            if sizes.setdefault(a, n) != n:
+                raise ValueError(f"conflicting sizes for attribute {a!r}")
+        return Domain(sizes.keys(), sizes.values())
+
+    def shape(self) -> tuple[int, ...]:
+        """Sizes as a tuple, i.e. the shape of the data tensor."""
+        return self.sizes
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self._index
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __getitem__(self, attr: str) -> int:
+        return self.sizes[self._index[attr]]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self.attributes == other.attributes and self.sizes == other.sizes
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.sizes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}: {n}" for a, n in zip(self.attributes, self.sizes))
+        return f"Domain({inner})"

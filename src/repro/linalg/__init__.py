@@ -1,0 +1,56 @@
+"""Implicit linear algebra substrate for HDMM (paper Section 4).
+
+Every workload and strategy in this library is a :class:`Matrix` — an
+implicit linear operator supporting mat-vec products, Gram matrices,
+sensitivity (max L1 column norm), and structured pseudo-inverses.
+"""
+
+from .base import Dense, Matrix
+from .identity import Identity, Ones, Total
+from .kron import Kronecker, kmatvec
+from .marginals import (
+    MarginalsAlgebra,
+    MarginalsGram,
+    MarginalsStrategy,
+    index_to_subset,
+    marginal_c_matrix,
+    marginal_query_matrix,
+    subset_to_index,
+)
+from .stack import Sum, VStack, Weighted
+from .structured import (
+    AllRange,
+    Permuted,
+    Prefix,
+    SparseMatrix,
+    WidthRange,
+    haar_wavelet,
+    hierarchical,
+)
+
+__all__ = [
+    "AllRange",
+    "Dense",
+    "Identity",
+    "Kronecker",
+    "MarginalsAlgebra",
+    "MarginalsGram",
+    "MarginalsStrategy",
+    "Matrix",
+    "Ones",
+    "Permuted",
+    "Prefix",
+    "SparseMatrix",
+    "Sum",
+    "Total",
+    "VStack",
+    "Weighted",
+    "WidthRange",
+    "haar_wavelet",
+    "hierarchical",
+    "index_to_subset",
+    "kmatvec",
+    "marginal_c_matrix",
+    "marginal_query_matrix",
+    "subset_to_index",
+]

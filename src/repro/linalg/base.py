@@ -1,0 +1,234 @@
+"""Implicit matrix base classes (paper Section 4).
+
+The select-measure-reconstruct paradigm represents workloads and strategies
+as matrices over the full relational domain.  Materializing them explicitly
+is infeasible in high dimensions (the paper's SF1+ workload matrix would be
+22TB), so every matrix in this library is a :class:`Matrix` — a linear
+operator that knows how to perform the handful of operations the paradigm
+needs *without* densifying:
+
+* ``matvec`` / ``rmatvec`` — products ``Ax`` and ``Aᵀy``;
+* ``gram`` — the Gram matrix ``AᵀA`` (central to strategy optimization);
+* ``sensitivity`` — the maximum absolute column sum ``‖A‖₁``, which equals
+  the L1 sensitivity of the query set (paper Definition 6);
+* ``pinv`` — the Moore–Penrose pseudo-inverse, where a structured form
+  exists (used by RECONSTRUCT, paper Section 7.2).
+
+Subclasses override whichever operations have a structured fast path;
+:class:`Dense` is the explicit fallback used for modest domain sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Matrix:
+    """A real matrix represented implicitly as a linear operator.
+
+    Attributes
+    ----------
+    shape:
+        ``(m, n)`` — number of queries and domain size.
+    dtype:
+        Always ``numpy.float64`` in this library.
+    """
+
+    shape: tuple[int, int]
+    dtype = np.float64
+
+    # -- core linear operator interface ---------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x`` for a vector ``x`` of length ``n``."""
+        raise NotImplementedError
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Return ``Aᵀ @ y`` for a vector ``y`` of length ``m``."""
+        raise NotImplementedError
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Return ``A @ X`` for a dense matrix ``X`` (column-by-column)."""
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        return np.stack([self.matvec(X[:, j]) for j in range(X.shape[1])], axis=1)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        """Return ``Aᵀ @ Y`` for a dense matrix ``Y`` (column-by-column)."""
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        return np.stack([self.rmatvec(Y[:, j]) for j in range(Y.shape[1])], axis=1)
+
+    # -- structured operations -------------------------------------------
+    def gram(self) -> "Matrix":
+        """The Gram matrix ``AᵀA`` as a :class:`Matrix` (n x n)."""
+        return Dense(self.dense().T @ self.dense())
+
+    def sensitivity(self) -> float:
+        """L1 sensitivity ``‖A‖₁`` = maximum absolute column sum."""
+        return float(np.abs(self.dense()).sum(axis=0).max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        """Vector of absolute column sums (length n).
+
+        ``sensitivity`` is the max of this vector; baselines such as the
+        Laplace Mechanism on stacked workloads need the full vector.
+        """
+        return np.abs(self.dense()).sum(axis=0)
+
+    def constant_column_abs_sum(self) -> float | None:
+        """The shared column absolute sum if all columns agree, else None.
+
+        Lets huge stacked workloads (e.g. unions of marginals over 10^8
+        domains) compute sensitivity without materializing a domain-sized
+        vector per product.
+        """
+        return None
+
+    def pinv(self) -> "Matrix":
+        """Moore–Penrose pseudo-inverse ``A⁺`` as a :class:`Matrix`."""
+        return Dense(np.linalg.pinv(self.dense()))
+
+    def transpose(self) -> "Matrix":
+        """The transpose ``Aᵀ`` as a :class:`Matrix`."""
+        return _Transpose(self)
+
+    @property
+    def T(self) -> "Matrix":
+        return self.transpose()
+
+    def dense(self) -> np.ndarray:
+        """Materialize the matrix as a dense ndarray.
+
+        Only safe for modest sizes; intended for tests, small problems,
+        and leaf factors of Kronecker products.
+        """
+        m, n = self.shape
+        eye = np.eye(n, dtype=self.dtype)
+        return self.matmat(eye)
+
+    def trace(self) -> float:
+        """Matrix trace (square matrices only)."""
+        m, n = self.shape
+        if m != n:
+            raise ValueError(f"trace of non-square matrix {self.shape}")
+        return float(np.trace(self.dense()))
+
+    def sum(self) -> float:
+        """Sum of all entries, computed via two mat-vecs."""
+        ones_n = np.ones(self.shape[1], dtype=self.dtype)
+        return float(self.matvec(ones_n).sum())
+
+    # -- operator sugar ----------------------------------------------------
+    def __matmul__(self, other):
+        if isinstance(other, np.ndarray):
+            return self.matmat(other)
+        if isinstance(other, Matrix):
+            return _Product(self, other)
+        return NotImplemented
+
+    def __rmul__(self, c):
+        if np.isscalar(c):
+            from .stack import Weighted
+
+            return Weighted(self, float(c))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+class Dense(Matrix):
+    """Explicitly materialized matrix — the fallback representation."""
+
+    def __init__(self, array: np.ndarray):
+        self.array = np.asarray(array, dtype=np.float64)
+        if self.array.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {self.array.shape}")
+        self.shape = self.array.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.array @ x
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.array.T @ y
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return self.array @ X
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.array.T @ Y
+
+    def gram(self) -> "Dense":
+        return Dense(self.array.T @ self.array)
+
+    def sensitivity(self) -> float:
+        return float(np.abs(self.array).sum(axis=0).max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.abs(self.array).sum(axis=0)
+
+    def pinv(self) -> "Dense":
+        return Dense(np.linalg.pinv(self.array))
+
+    def transpose(self) -> "Dense":
+        return Dense(self.array.T)
+
+    def dense(self) -> np.ndarray:
+        return self.array
+
+    def trace(self) -> float:
+        m, n = self.shape
+        if m != n:
+            raise ValueError(f"trace of non-square matrix {self.shape}")
+        return float(np.trace(self.array))
+
+    def sum(self) -> float:
+        return float(self.array.sum())
+
+
+class _Transpose(Matrix):
+    """Lazy transpose wrapper used by the default ``transpose``."""
+
+    def __init__(self, base: Matrix):
+        self.base = base
+        self.shape = (base.shape[1], base.shape[0])
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.base.rmatvec(x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.base.matvec(y)
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return self.base.rmatmat(X)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.base.matmat(Y)
+
+    def transpose(self) -> Matrix:
+        return self.base
+
+    def dense(self) -> np.ndarray:
+        return self.base.dense().T
+
+
+class _Product(Matrix):
+    """Lazy matrix product ``A @ B`` of two implicit matrices."""
+
+    def __init__(self, left: Matrix, right: Matrix):
+        if left.shape[1] != right.shape[0]:
+            raise ValueError(f"shape mismatch: {left.shape} @ {right.shape}")
+        self.left = left
+        self.right = right
+        self.shape = (left.shape[0], right.shape[1])
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.left.matvec(self.right.matvec(x))
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.right.rmatvec(self.left.rmatvec(y))
+
+    def dense(self) -> np.ndarray:
+        return self.left.dense() @ self.right.dense()

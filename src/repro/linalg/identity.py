@@ -1,0 +1,137 @@
+"""Building-block matrices: Identity, Ones and Total (paper Section 3.3).
+
+``Identity(n)`` is the vectorized ``Identity_A`` predicate set: one counting
+query per domain element.  ``Total(n)`` (a 1 x n matrix of ones) is the
+vectorized ``Total_A`` predicate set: the single query counting every
+record.  ``Ones(m, n)`` generalizes the all-ones matrix; it appears as
+``1 = TᵀT`` inside the marginals algebra of Section 6.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dense, Matrix
+
+
+class Identity(Matrix):
+    """The n x n identity matrix — the ``Identity`` predicate set."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.shape = (n, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=self.dtype).copy()
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray(y, dtype=self.dtype).copy()
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X, dtype=self.dtype).copy()
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return np.asarray(Y, dtype=self.dtype).copy()
+
+    def gram(self) -> "Identity":
+        return Identity(self.n)
+
+    def sensitivity(self) -> float:
+        return 1.0
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.ones(self.n)
+
+    def constant_column_abs_sum(self) -> float:
+        return 1.0
+
+    def pinv(self) -> "Identity":
+        return Identity(self.n)
+
+    def transpose(self) -> "Identity":
+        return self
+
+    def dense(self) -> np.ndarray:
+        return np.eye(self.n)
+
+    def trace(self) -> float:
+        return float(self.n)
+
+    def sum(self) -> float:
+        return float(self.n)
+
+
+class Ones(Matrix):
+    """The m x n all-ones matrix.
+
+    ``Ones(1, n)`` is the Total predicate set; ``Ones(n, n)`` is the
+    ``1 = TᵀT`` building block of the marginals parameterization.
+    """
+
+    def __init__(self, m: int, n: int):
+        if m <= 0 or n <= 0:
+            raise ValueError("dimensions must be positive")
+        self.shape = (m, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return np.full(self.shape[0], float(np.sum(x)))
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return np.full(self.shape[1], float(np.sum(y)))
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        col_sums = X.sum(axis=0)
+        return np.tile(col_sums, (self.shape[0], 1))
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        return np.tile(Y.sum(axis=0), (self.shape[1], 1))
+
+    def gram(self) -> "Ones":
+        # (1_{m x n})ᵀ (1_{m x n}) = m * 1_{n x n}
+        from .stack import Weighted
+
+        m, n = self.shape
+        if m == 1:
+            return Ones(n, n)
+        return Weighted(Ones(n, n), float(m))  # type: ignore[return-value]
+
+    def sensitivity(self) -> float:
+        return float(self.shape[0])
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.full(self.shape[1], float(self.shape[0]))
+
+    def constant_column_abs_sum(self) -> float:
+        return float(self.shape[0])
+
+    def pinv(self) -> Matrix:
+        m, n = self.shape
+        return Dense(np.full((n, m), 1.0 / (m * n)))
+
+    def transpose(self) -> "Ones":
+        return Ones(self.shape[1], self.shape[0])
+
+    def dense(self) -> np.ndarray:
+        return np.ones(self.shape)
+
+    def trace(self) -> float:
+        m, n = self.shape
+        if m != n:
+            raise ValueError(f"trace of non-square matrix {self.shape}")
+        return float(n)
+
+    def sum(self) -> float:
+        return float(self.shape[0] * self.shape[1])
+
+
+def Total(n: int) -> Ones:
+    """The ``Total`` predicate set on a domain of size n: a 1 x n row of ones."""
+    return Ones(1, n)

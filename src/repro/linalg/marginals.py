@@ -1,0 +1,291 @@
+"""The marginals algebra of paper Section 6.3 and Appendix A.4.
+
+A marginal over attribute subset S is the Kronecker product with Identity
+on attributes in S and Total elsewhere.  Indexing subsets by integers
+``a ∈ [2^d]`` (bit i of ``a`` set means attribute i is *kept*, matching the
+paper's ``C(a)``), the Gram matrix of marginal a is::
+
+    C(a) = ⊗_i [ 1(a_i = 0) + I(a_i = 1) ]
+
+where ``1`` is the all-ones n_i x n_i matrix.  Weighted sums
+``G(v) = Σ_a v_a C(a)`` are closed under multiplication (Proposition 4)::
+
+    G(u) G(v) = G(X(u) v)
+
+with ``X(u)`` an upper-triangular 2^d x 2^d matrix.  This lets OPT_M
+evaluate objectives, invert Gram matrices, and form pseudo-inverses in
+O(4^d) time, independent of the domain sizes n_i.
+
+Bit convention: attribute ``i`` (0-based position in the domain) maps to
+bit ``d-1-i``, so the binary string of ``a`` reads left-to-right in
+attribute order (Example 9: ``I ⊗ T ⊗ I`` ↔ ``C(101₂) = C(5)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from .base import Matrix
+from .identity import Identity, Ones
+from .kron import Kronecker
+from .stack import Sum, VStack, Weighted
+
+
+def attribute_bit(a: int, i: int, d: int) -> int:
+    """Bit of subset-index ``a`` for attribute position ``i`` (0-based)."""
+    return (a >> (d - 1 - i)) & 1
+
+
+def subset_to_index(subset, attributes) -> int:
+    """Map an attribute subset (names or positions) to its integer index."""
+    d = len(attributes)
+    positions = []
+    lookup = {a: i for i, a in enumerate(attributes)}
+    for s in subset:
+        positions.append(lookup[s] if s in lookup else int(s))
+    a = 0
+    for i in positions:
+        a |= 1 << (d - 1 - i)
+    return a
+
+
+def index_to_subset(a: int, attributes) -> tuple:
+    """Inverse of :func:`subset_to_index`: the kept attributes of index a."""
+    d = len(attributes)
+    return tuple(attributes[i] for i in range(d) if attribute_bit(a, i, d))
+
+
+def marginal_c_matrix(sizes, a: int) -> Kronecker:
+    """The Gram building block ``C(a)`` as an implicit Kronecker product."""
+    d = len(sizes)
+    factors: list[Matrix] = []
+    for i, n in enumerate(sizes):
+        factors.append(Identity(n) if attribute_bit(a, i, d) else Ones(n, n))
+    return Kronecker(factors)
+
+
+def marginal_query_matrix(sizes, a: int) -> Kronecker:
+    """The query matrix of marginal ``a``: Identity on kept attributes, Total
+    on the rest.  Sensitivity 1."""
+    d = len(sizes)
+    factors: list[Matrix] = []
+    for i, n in enumerate(sizes):
+        factors.append(Identity(n) if attribute_bit(a, i, d) else Ones(1, n))
+    return Kronecker(factors)
+
+
+class MarginalsAlgebra:
+    """Closed algebra of ``G(v) = Σ_a v_a C(a)`` for a fixed domain.
+
+    Precomputes the scalar table ``C̄(k) = Π_i [n_i if k_i = 0 else 1]``
+    (Proposition 3's constant) and exposes the product, inverse and adjoint
+    operations needed by OPT_M — all in O(4^d) vectorized work.
+    """
+
+    def __init__(self, sizes):
+        self.sizes = tuple(int(n) for n in sizes)
+        self.d = len(self.sizes)
+        if self.d > 16:
+            raise ValueError("marginals algebra limited to d <= 16 attributes")
+        self.size = 1 << self.d
+        ks = np.arange(self.size)
+        cbar = np.ones(self.size)
+        for i, n in enumerate(self.sizes):
+            zero_bit = ((ks >> (self.d - 1 - i)) & 1) == 0
+            cbar[zero_bit] *= n
+        self.cbar = cbar  # C̄(k) lookup, length 2^d
+
+    # -- products ---------------------------------------------------------
+    def multiply_weights(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Weights w with ``G(u) G(v) = G(w)`` — i.e. ``w = X(u) v``."""
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        a = np.arange(self.size)
+        w = np.zeros(self.size)
+        for b in range(self.size):
+            if v[b] == 0.0:
+                continue
+            vals = u * self.cbar[a | b] * v[b]
+            w += np.bincount(a & b, weights=vals, minlength=self.size)
+        return w
+
+    def x_matrix(self, u: np.ndarray) -> sp.csr_matrix:
+        """The upper-triangular ``X(u)`` with ``X(u) v = weights of G(u)G(v)``.
+
+        ``X(u)[k, b] = Σ_{a : a&b = k} u_a C̄(a|b)``; nonzero only when k is
+        a submask of b, hence upper triangular in integer order.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        a = np.arange(self.size)
+        data, rows, cols = [], [], []
+        for b in range(self.size):
+            col = np.bincount(a & b, weights=u * self.cbar[a | b], minlength=self.size)
+            nz = np.nonzero(col)[0]
+            rows.append(nz)
+            cols.append(np.full(len(nz), b))
+            data.append(col[nz])
+        X = sp.coo_matrix(
+            (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.size, self.size),
+        )
+        return X.tocsr()
+
+    # -- inverses -----------------------------------------------------------
+    def ginv_weights(self, u: np.ndarray) -> np.ndarray:
+        """Weights v with ``G(u) G(v) = I`` (requires u_full > 0).
+
+        Solves the triangular system ``X(u) v = e`` where e selects the full
+        index (since ``C(2^d - 1) = I``).  With the full-contingency weight
+        strictly positive, X(u) has a positive diagonal and the solve is a
+        clean back-substitution.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        if u[-1] <= 0:
+            raise ValueError(
+                "G(u) inverse requires positive weight on the full marginal"
+            )
+        X = self.x_matrix(u)
+        e = np.zeros(self.size)
+        e[-1] = 1.0
+        return spsolve_triangular(X, e, lower=False)
+
+    def ginv_weights_general(self, u: np.ndarray) -> np.ndarray:
+        """Weights v of a *generalized* inverse: ``G(u)G(v)G(u) = G(u)``.
+
+        Because ``multiply_weights`` is symmetric in its arguments (the
+        C(a) matrices commute), the g-inverse condition reduces to the
+        linear system ``X(u)² v = u``, solved in the least-squares sense.
+        A g-inverse suffices both for error evaluation (``tr[G⁻ WᵀW]`` is
+        invariant over g-inverses when W is supported) and for computing
+        *a* least-squares solution in reconstruction.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        X = self.x_matrix(u)
+        X2 = (X @ X).toarray()
+        v, *_ = np.linalg.lstsq(X2, u, rcond=None)
+        return v
+
+    def adjoint_solve(self, u: np.ndarray, delta: np.ndarray) -> np.ndarray:
+        """Solve ``X(u)ᵀ φ = δ`` (used for the OPT_M analytic gradient)."""
+        X = self.x_matrix(np.asarray(u, dtype=np.float64))
+        return spsolve_triangular(
+            X.T.tocsr(), np.asarray(delta, dtype=np.float64), lower=True
+        )
+
+    def gram_weights(self, theta: np.ndarray) -> np.ndarray:
+        """Weights u with ``M(θ)ᵀ M(θ) = G(u)``: simply ``u = θ²``."""
+        theta = np.asarray(theta, dtype=np.float64)
+        return theta**2
+
+
+class MarginalsGram(Matrix):
+    """``G(v) = Σ_a v_a C(a)`` as an implicit N x N matrix.
+
+    Used to apply ``(MᵀM)⁺`` during reconstruction without materializing
+    anything larger than the data vector.
+    """
+
+    def __init__(self, sizes, weights: np.ndarray):
+        self.sizes = tuple(int(n) for n in sizes)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        d = len(self.sizes)
+        if self.weights.shape != (1 << d,):
+            raise ValueError(f"expected {1 << d} weights, got {self.weights.shape}")
+        N = int(np.prod(self.sizes))
+        self.shape = (N, N)
+
+    def _terms(self):
+        for a, v in enumerate(self.weights):
+            if v != 0.0:
+                yield Weighted(marginal_c_matrix(self.sizes, a), float(v))
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.shape[0])
+        for term in self._terms():
+            out += term.matvec(x)
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.matvec(y)  # G(v) is symmetric
+
+    def transpose(self) -> "MarginalsGram":
+        return self
+
+    def dense(self) -> np.ndarray:
+        terms = list(self._terms())
+        if not terms:
+            return np.zeros(self.shape)
+        return Sum(terms).dense()
+
+    def trace(self) -> float:
+        N = self.shape[0]
+        alg = MarginalsAlgebra(self.sizes)
+        # tr C(a) = Π_i (n_i) over kept bits... tr(1_{n x n}) = n, tr(I_n) = n,
+        # so tr C(a) = N for every a.
+        return float(self.weights.sum() * N)
+
+
+class MarginalsStrategy(Matrix):
+    """The strategy ``M(θ)``: all 2^d marginals stacked with weights θ.
+
+    Only marginals with θ_a > 0 contribute rows.  Sensitivity is Σ θ_a
+    (each marginal has sensitivity 1; column sums add across the stack).
+    """
+
+    def __init__(self, sizes, theta: np.ndarray):
+        self.sizes = tuple(int(n) for n in sizes)
+        self.theta = np.asarray(theta, dtype=np.float64)
+        d = len(self.sizes)
+        if self.theta.shape != (1 << d,):
+            raise ValueError(f"expected {1 << d} weights, got {self.theta.shape}")
+        if np.any(self.theta < 0):
+            raise ValueError("marginal weights must be non-negative")
+        self.active = [int(a) for a in np.nonzero(self.theta)[0]]
+        if not self.active:
+            raise ValueError("at least one marginal weight must be positive")
+        self._stack = VStack(
+            [
+                Weighted(marginal_query_matrix(self.sizes, a), float(self.theta[a]))
+                for a in self.active
+            ]
+        )
+        self.shape = self._stack.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._stack.matvec(x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self._stack.rmatvec(y)
+
+    def gram(self) -> MarginalsGram:
+        return MarginalsGram(self.sizes, self.theta**2)
+
+    def sensitivity(self) -> float:
+        return float(self.theta.sum())
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.full(self.shape[1], float(self.theta.sum()))
+
+    def pinv(self) -> Matrix:
+        """``(MᵀM)⁻ Mᵀ`` with the Gram inverse from the algebra.
+
+        When the full-contingency weight is positive the Gram is
+        invertible and this is the exact Moore–Penrose pseudo-inverse.
+        Otherwise a *generalized* inverse is used: the result still
+        produces a least-squares solution (and identical answers for any
+        supported workload), though not necessarily the minimum-norm one.
+        """
+        alg = MarginalsAlgebra(self.sizes)
+        if self.theta[-1] > 0:
+            v = alg.ginv_weights(self.theta**2)
+        else:
+            v = alg.ginv_weights_general(self.theta**2)
+        return MarginalsGram(self.sizes, v) @ self._stack.T
+
+    def dense(self) -> np.ndarray:
+        return self._stack.dense()
+
+    def __repr__(self) -> str:
+        return f"MarginalsStrategy(d={len(self.sizes)}, active={len(self.active)})"

@@ -1,0 +1,331 @@
+"""Structured workload/strategy matrices with closed-form fast paths.
+
+These are the vectorized forms of the common single-attribute predicate
+sets of paper Section 3.3 (Prefix, AllRange) plus the building blocks used
+by the baseline mechanisms of Section 8 (Haar wavelets for Privelet,
+b-ary hierarchies for HB/GreedyH, width-w range bands, and permuted
+workloads).  Each class provides its Gram matrix ``WᵀW`` in closed form so
+strategy optimization never needs the explicit (often huge) query matrix —
+e.g. AllRange on a domain of size n has n(n+1)/2 rows, but its Gram is the
+n x n matrix ``(min(i,j)+1)(n - max(i,j))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from .base import Dense, Matrix
+
+
+class Prefix(Matrix):
+    """All prefix (CDF) queries: row i sums cells 0..i.  n rows, n cols."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.shape = (n, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return np.cumsum(np.asarray(x, dtype=self.dtype))
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        # Column j of Prefix is covered by prefixes j..n-1.
+        return np.cumsum(np.asarray(y, dtype=self.dtype)[::-1])[::-1]
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return np.cumsum(np.asarray(X, dtype=self.dtype), axis=0)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return np.cumsum(np.asarray(Y, dtype=self.dtype)[::-1], axis=0)[::-1]
+
+    def gram(self) -> Dense:
+        # (WᵀW)_{ij} = #prefixes containing both i and j = n - max(i, j).
+        idx = np.arange(self.n)
+        return Dense(self.n - np.maximum.outer(idx, idx).astype(np.float64))
+
+    def sensitivity(self) -> float:
+        return float(self.n)
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.arange(self.n, 0, -1, dtype=np.float64)
+
+    def dense(self) -> np.ndarray:
+        return np.tril(np.ones((self.n, self.n)))
+
+    def __repr__(self) -> str:
+        return f"Prefix(n={self.n})"
+
+
+class AllRange(Matrix):
+    """All contiguous range queries [i, j]: n(n+1)/2 rows, n cols.
+
+    Rows are ordered lexicographically by (i, j) with i <= j.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.shape = (n * (n + 1) // 2, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
+        prefix = np.concatenate([[0.0], np.cumsum(x)])
+        out = np.empty(self.shape[0])
+        pos = 0
+        for i in range(self.n):
+            cnt = self.n - i
+            out[pos : pos + cnt] = prefix[i + 1 :] - prefix[i]
+            pos += cnt
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=self.dtype)
+        out = np.zeros(self.n)
+        pos = 0
+        for i in range(self.n):
+            cnt = self.n - i
+            block = y[pos : pos + cnt]
+            # Range (i, j) covers cells i..j: add reverse-cumulative sums.
+            out[i:] += np.cumsum(block[::-1])[::-1]
+            pos += cnt
+        return out
+
+    def gram(self) -> Dense:
+        # #ranges containing both i and j = (min(i,j)+1) * (n - max(i,j)).
+        idx = np.arange(self.n, dtype=np.float64)
+        lo = np.minimum.outer(idx, idx) + 1.0
+        hi = self.n - np.maximum.outer(idx, idx)
+        return Dense(lo * hi)
+
+    def sensitivity(self) -> float:
+        return float(self.column_abs_sums().max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        idx = np.arange(self.n, dtype=np.float64)
+        return (idx + 1.0) * (self.n - idx)
+
+    def dense(self) -> np.ndarray:
+        rows = []
+        for i in range(self.n):
+            block = np.zeros((self.n - i, self.n))
+            for j in range(i, self.n):
+                block[j - i, i : j + 1] = 1.0
+            rows.append(block)
+        return np.vstack(rows)
+
+    def __repr__(self) -> str:
+        return f"AllRange(n={self.n})"
+
+
+class WidthRange(Matrix):
+    """All range queries summing exactly ``width`` contiguous cells."""
+
+    def __init__(self, n: int, width: int):
+        if not 1 <= width <= n:
+            raise ValueError(f"width must be in [1, {n}], got {width}")
+        self.n = n
+        self.width = width
+        self.shape = (n - width + 1, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        prefix = np.concatenate([[0.0], np.cumsum(np.asarray(x, dtype=self.dtype))])
+        return prefix[self.width :] - prefix[: -self.width]
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.n)
+        y = np.asarray(y, dtype=self.dtype)
+        csum = np.concatenate([[0.0], np.cumsum(y)])
+        m = self.shape[0]
+        for j in range(self.n):
+            lo = max(0, j - self.width + 1)
+            hi = min(j, m - 1)
+            if lo <= hi:
+                out[j] = csum[hi + 1] - csum[lo]
+        return out
+
+    def gram(self) -> Dense:
+        # Windows covering both i and j: start s with
+        # max(i,j)-width+1 <= s <= min(i,j), clipped to [0, n-width].
+        idx = np.arange(self.n, dtype=np.float64)
+        lo = np.maximum(np.maximum.outer(idx, idx) - self.width + 1, 0.0)
+        hi = np.minimum(np.minimum.outer(idx, idx), self.n - self.width)
+        return Dense(np.maximum(hi - lo + 1.0, 0.0))
+
+    def sensitivity(self) -> float:
+        return float(self.column_abs_sums().max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        idx = np.arange(self.n, dtype=np.float64)
+        lo = np.maximum(idx - self.width + 1, 0.0)
+        hi = np.minimum(idx, self.n - self.width)
+        return np.maximum(hi - lo + 1.0, 0.0)
+
+    def dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for i in range(self.shape[0]):
+            out[i, i : i + self.width] = 1.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"WidthRange(n={self.n}, width={self.width})"
+
+
+class Permuted(Matrix):
+    """A workload with permuted domain columns: ``W P``.
+
+    ``perm[j]`` gives the source column of output column j, i.e.
+    ``(WP)[:, j] = W[:, perm[j]]``.  Used for the Permuted Range workload
+    of Section 8.1, which shuffles the domain to destroy the locality that
+    hierarchical baselines rely on.
+    """
+
+    def __init__(self, base: Matrix, perm: np.ndarray):
+        perm = np.asarray(perm, dtype=np.intp)
+        n = base.shape[1]
+        if sorted(perm.tolist()) != list(range(n)):
+            raise ValueError("perm must be a permutation of range(n)")
+        self.base = base
+        self.perm = perm
+        # inverse permutation: inv[perm[j]] = j
+        self.inv = np.empty(n, dtype=np.intp)
+        self.inv[perm] = np.arange(n)
+        self.shape = base.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        # (W P) x = W (P x); (Px)[i] = x[inv[i]] so that column perm[j] of W
+        # receives x[j].
+        return self.base.matvec(np.asarray(x)[self.inv])
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.base.rmatvec(y)[self.perm]
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        return self.base.matmat(X[self.inv])
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        return self.base.rmatmat(Y)[self.perm]
+
+    def gram(self) -> Dense:
+        G = self.base.gram().dense()
+        return Dense(G[np.ix_(self.perm, self.perm)])
+
+    def sensitivity(self) -> float:
+        return self.base.sensitivity()
+
+    def column_abs_sums(self) -> np.ndarray:
+        return self.base.column_abs_sums()[self.perm]
+
+    def dense(self) -> np.ndarray:
+        return self.base.dense()[:, self.perm]
+
+    def __repr__(self) -> str:
+        return f"Permuted({self.base!r})"
+
+
+class SparseMatrix(Matrix):
+    """A scipy.sparse-backed matrix (for wavelet/hierarchical strategies)."""
+
+    def __init__(self, array: sp.spmatrix):
+        self.array = sp.csr_matrix(array).astype(np.float64)
+        self.shape = self.array.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.array @ np.asarray(x, dtype=self.dtype)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.array.T @ np.asarray(y, dtype=self.dtype)
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return self.array @ np.asarray(X, dtype=self.dtype)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.array.T @ np.asarray(Y, dtype=self.dtype)
+
+    def gram(self) -> Dense:
+        return Dense((self.array.T @ self.array).toarray())
+
+    def sensitivity(self) -> float:
+        return float(self.column_abs_sums().max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.asarray(abs(self.array).sum(axis=0)).ravel()
+
+    def transpose(self) -> "SparseMatrix":
+        return SparseMatrix(self.array.T)
+
+    def dense(self) -> np.ndarray:
+        return self.array.toarray()
+
+    def sum(self) -> float:
+        return float(self.array.sum())
+
+
+def haar_wavelet(n: int) -> SparseMatrix:
+    """The Haar wavelet strategy matrix of Privelet [Xiao et al. 2011].
+
+    Requires n to be a power of two.  Rows: one total row plus, for each
+    level l = 0..log2(n)-1 and each of the 2^l shifts, a row that is +1 on
+    the left half of its dyadic interval and -1 on the right half.  The
+    maximum absolute column sum is ``1 + log2(n)``.
+    """
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"haar_wavelet requires a power-of-two size, got {n}")
+    rows, cols, vals = [0] * n, list(range(n)), [1.0] * n
+    r = 1
+    length = n
+    while length > 1:
+        half = length // 2
+        for start in range(0, n, length):
+            for c in range(start, start + half):
+                rows.append(r)
+                cols.append(c)
+                vals.append(1.0)
+            for c in range(start + half, start + length):
+                rows.append(r)
+                cols.append(c)
+                vals.append(-1.0)
+            r += 1
+        length = half
+    H = sp.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    return SparseMatrix(H)
+
+
+def hierarchical(n: int, branching: int) -> SparseMatrix:
+    """A b-ary hierarchy of interval queries over a domain of size n.
+
+    This is the strategy family used by HB [Qardaji et al. 2013]: the root
+    interval [0, n) plus each node's b-way split, recursively down to
+    singleton leaves.  Every domain element appears in one query per level,
+    so the sensitivity equals the tree height.
+    """
+    if branching < 2:
+        raise ValueError("branching factor must be at least 2")
+    rows, cols, vals = [], [], []
+    r = 0
+    # Breadth-first over intervals; an interval of size 1 is a leaf.
+    frontier = [(0, n)]
+    while frontier:
+        nxt = []
+        for lo, hi in frontier:
+            for c in range(lo, hi):
+                rows.append(r)
+                cols.append(c)
+                vals.append(1.0)
+            r += 1
+            size = hi - lo
+            if size > 1:
+                step = -(-size // branching)  # ceil division
+                for s in range(lo, hi, step):
+                    nxt.append((s, min(s + step, hi)))
+        frontier = nxt
+    H = sp.coo_matrix((vals, (rows, cols)), shape=(r, n))
+    return SparseMatrix(H)

@@ -1,0 +1,96 @@
+"""OPT_HDMM: the fully-automated strategy selection of paper Section 7.1
+(Algorithm 2).
+
+Runs a set of optimization operators — by default OPT_⊗ on the whole
+workload, OPT_+ on a two-group partition, and OPT_M — across multiple
+random restarts, keeping the strategy with least expected error.  The
+Identity strategy seeds the search as a universally-supported fallback, so
+the returned strategy never does worse than Identity.
+
+Strategy selection is independent of the input data and consumes no
+privacy budget (the workload is public).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..linalg import Identity, Kronecker, Matrix
+from ..workload.util import as_union_of_products, attribute_sizes
+from .opt0 import OptResult
+from .opt_kron import opt_kron
+from .opt_marginals import opt_marginals
+from .opt_union import opt_union
+
+Operator = Callable[[Matrix, np.random.Generator], OptResult]
+
+#: Practical limit on marginal-space size for OPT_M (O(4^d) per iteration).
+_MAX_MARGINAL_DIMS = 14
+
+
+def identity_result(W: Matrix) -> OptResult:
+    """The Identity strategy and its error — Algorithm 2's initial best."""
+    from ..core.error import squared_error
+
+    sizes = attribute_sizes(W)
+    strategy = Kronecker([Identity(n) for n in sizes])
+    return OptResult(strategy, squared_error(W, strategy))
+
+
+def default_operators(W: Matrix) -> list[tuple[str, Operator]]:
+    """The operator set P used by the paper's instantiation of OPT_HDMM."""
+    terms = as_union_of_products(W)
+    d = len(terms[0][1])
+    ops: list[tuple[str, Operator]] = [
+        ("OPT_kron", lambda w, rng: opt_kron(w, rng=rng))
+    ]
+    if len(terms) > 1:
+        ops.append(("OPT_union", lambda w, rng: opt_union(w, rng=rng, groups=2)))
+    if d <= _MAX_MARGINAL_DIMS:
+        ops.append(("OPT_marginals", lambda w, rng: opt_marginals(w, rng=rng)))
+    return ops
+
+
+def opt_hdmm(
+    W: Matrix,
+    restarts: int = 25,
+    rng: np.random.Generator | int | None = None,
+    operators: Sequence[tuple[str, Operator]] | None = None,
+    verbose: bool = False,
+) -> OptResult:
+    """Algorithm 2: multi-restart, multi-operator strategy selection.
+
+    Parameters
+    ----------
+    W:
+        Implicit workload (union of Kronecker products).
+    restarts:
+        Maximum random restarts S.  The paper uses 25 but observes the
+        local-minima distribution is concentrated and far fewer suffice.
+    operators:
+        Optional override of the operator set; each entry is
+        ``(name, fn(W, rng) -> OptResult)``.
+
+    Returns
+    -------
+    The best :class:`OptResult` found; ``loss`` is the expected squared
+    error at sensitivity 1 (``‖A‖₁²·‖WA⁺‖_F²``).
+    """
+    rng = np.random.default_rng(rng)
+    if operators is None:
+        operators = default_operators(W)
+
+    best = identity_result(W)
+    if verbose:
+        print(f"Identity baseline: {best.loss:.6g}")
+    for s in range(restarts):
+        for name, op in operators:
+            result = op(W, rng)
+            if verbose:
+                print(f"restart {s} {name}: {result.loss:.6g}")
+            valid = np.isfinite(result.loss) and result.loss > 0
+            if valid and result.loss < best.loss:
+                best = result
+    return OptResult(best.strategy, best.loss, restarts)

@@ -1,0 +1,249 @@
+"""OPT_0: parameterized strategy optimization (paper Section 5.2).
+
+Searches the space of *p-Identity strategies* (Definition 9)::
+
+    A(Θ) = [ I ]  D        D = diag(1_N + 1_p Θ)⁻¹,  Θ ∈ R₊^{p x N}
+           [ Θ ]
+
+Every A(Θ) supports every workload (it contains a scaled identity) and has
+``‖A‖₁ = 1`` by construction, so the constrained Problem 1 reduces to the
+unconstrained Problem 2: minimize ``C(Θ) = tr[(AᵀA)⁻¹ WᵀW]``.
+
+The objective and gradient are evaluated in O(pN²) (Theorem 4) using the
+Woodbury identity::
+
+    (AᵀA)⁻¹ = D⁻¹ [I - Θᵀ (I_p + ΘΘᵀ)⁻¹ Θ] D⁻¹
+
+Optimization uses scipy's L-BFGS-B with non-negativity bounds on Θ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize as sopt
+
+from ..linalg import Matrix
+from ..linalg.base import Dense
+
+
+class PIdentity(Matrix):
+    """A p-Identity strategy A(Θ), stored implicitly via Θ.
+
+    Exposes the structured operations the rest of HDMM needs: sensitivity
+    is exactly 1, the Gram inverse has the Woodbury form above, and the
+    pseudo-inverse ``A⁺ = (AᵀA)⁻¹Aᵀ`` is applied without materializing A.
+    """
+
+    def __init__(self, theta: np.ndarray):
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.ndim != 2:
+            raise ValueError("theta must be a p x n matrix")
+        if np.any(theta < 0):
+            raise ValueError("theta must be non-negative")
+        self.theta = theta
+        p, n = theta.shape
+        self.scale = 1.0 + theta.sum(axis=0)  # column scales s = 1 + 1ᵀΘ
+        self.shape = (n + p, n)
+
+    @property
+    def p(self) -> int:
+        return self.theta.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.theta.shape[1]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        xs = np.asarray(x, dtype=self.dtype) / self.scale
+        return np.concatenate([xs, self.theta @ xs])
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=self.dtype)
+        n = self.n
+        return (y[:n] + self.theta.T @ y[n:]) / self.scale
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        Xs = X / self.scale[:, None]
+        return np.vstack([Xs, self.theta @ Xs])
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        n = self.n
+        return (Y[:n] + self.theta.T @ Y[n:]) / self.scale[:, None]
+
+    def gram(self) -> Dense:
+        D = 1.0 / self.scale
+        inner = np.eye(self.n) + self.theta.T @ self.theta
+        return Dense(inner * np.outer(D, D))
+
+    def gram_inverse(self) -> np.ndarray:
+        """(AᵀA)⁻¹ via Woodbury — O(pN² + p³), never O(N³)."""
+        B = self.theta
+        p = self.p
+        R = np.linalg.inv(np.eye(p) + B @ B.T)
+        M = np.eye(self.n) - B.T @ (R @ B)
+        s = self.scale
+        return M * np.outer(s, s)
+
+    def sensitivity(self) -> float:
+        return 1.0
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.ones(self.n)
+
+    def pinv(self) -> Matrix:
+        return Dense(self.gram_inverse()) @ self.T
+
+    def dense(self) -> np.ndarray:
+        A = np.vstack([np.eye(self.n), self.theta])
+        return A / self.scale
+
+    def __repr__(self) -> str:
+        return f"PIdentity(p={self.p}, n={self.n})"
+
+
+def pidentity_loss_and_grad(
+    theta: np.ndarray, V: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Objective ``C = tr[(AᵀA)⁻¹ V]`` and its gradient w.r.t. Θ.
+
+    ``V = WᵀW`` is the (dense, n x n) workload Gram.  Cost O(pn²).
+
+    Derivation: with ``X = AᵀA``, ``∂C/∂A = -2A X⁻¹ V X⁻¹`` (Appendix A.2);
+    the chain rule through the column normalization ``D = diag(1+1ᵀΘ)⁻¹``
+    yields, for ``G = ∂C/∂A`` partitioned into the identity block G_I and
+    the Θ block G_B::
+
+        ∂C/∂Θ_{kl} = G_B[k,l]/s_l - (G_I[l,l] + Σ_i G_B[i,l] Θ[i,l]) / s_l²
+    """
+    B = np.asarray(theta, dtype=np.float64)
+    p, n = B.shape
+    V = np.asarray(V, dtype=np.float64)
+    if not np.all(np.isfinite(B)) or np.abs(B).max() > 1e30:
+        # Line searches can probe wildly large parameters; report an
+        # infinite objective so the optimizer backtracks.
+        return np.inf, np.zeros((p, n))
+    s = 1.0 + B.sum(axis=0)
+
+    try:
+        R = np.linalg.inv(np.eye(p) + B @ B.T)  # p x p
+    except np.linalg.LinAlgError:
+        return np.inf, np.zeros((p, n))
+    V1 = V * np.outer(s, s)  # D⁻¹ V D⁻¹
+    T1 = B @ V1  # p x n
+    T2 = R @ T1  # p x n
+    # C = tr[M V1] with M = I - Bᵀ R B
+    loss = float(np.einsum("ii->", V1) - np.einsum("ij,ij->", B, T2))
+
+    # Y = X⁻¹ V X⁻¹ = D⁻¹ (M V1 M) D⁻¹
+    U = V1 - B.T @ T2  # M V1, n x n
+    UBt = U @ B.T  # n x p
+    MVM = U - (UBt @ R) @ B  # n x n
+    Y = MVM * np.outer(s, s)
+
+    # G = -2 A Y with A = [[D],[B D]]
+    gI_diag = -2.0 * np.diag(Y) / s  # diagonal of identity block
+    GB = -2.0 * (B / s[None, :]) @ Y  # p x n
+
+    grad = GB / s[None, :] - (gI_diag + np.einsum("il,il->l", GB, B)) / s[None, :] ** 2
+    return loss, grad
+
+
+@dataclass
+class OptResult:
+    """Outcome of a strategy optimization run.
+
+    Attributes
+    ----------
+    strategy:
+        The optimized strategy, sensitivity 1.
+    loss:
+        ``‖W A⁺‖_F²`` — squared error of the workload under the strategy
+        (with the strategy's sensitivity already normalized to 1).
+    restarts:
+        Number of random restarts performed.
+    """
+
+    strategy: Matrix
+    loss: float
+    restarts: int = 1
+
+
+def opt_0(
+    V: np.ndarray | Matrix,
+    p: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    restarts: int = 1,
+    maxiter: int = 500,
+    init: np.ndarray | None = None,
+) -> OptResult:
+    """Solve Problem 2 for an explicit workload Gram (paper OPT_0).
+
+    Parameters
+    ----------
+    V:
+        The workload Gram ``WᵀW`` — either a dense ndarray or a
+        :class:`Matrix` whose ``dense()`` is affordable.  Accepting the
+        Gram directly (rather than W) matches the paper: "we allow OPT_0
+        to take WᵀW as input in these special cases".
+    p:
+        Number of non-identity strategy rows.  Defaults to the paper's
+        heuristic ``max(1, n // 16)``.
+    rng:
+        Seed or Generator for the random restarts.
+    restarts:
+        Random restarts; the best local minimum is returned.
+    init:
+        Optional explicit initialization for the first restart.
+    """
+    V = V.dense() if isinstance(V, Matrix) else np.asarray(V, dtype=np.float64)
+    n = V.shape[0]
+    if V.shape != (n, n):
+        raise ValueError(f"V must be square, got {V.shape}")
+    if p is None:
+        p = max(1, n // 16)
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    rng = np.random.default_rng(rng)
+
+    best_theta, best_loss = None, np.inf
+    for r in range(restarts):
+        if r == 0 and init is not None:
+            theta0 = np.asarray(init, dtype=np.float64)
+            if theta0.shape != (p, n):
+                raise ValueError(f"init must have shape {(p, n)}")
+        else:
+            # Small-scale initialization: large inits drive L-BFGS-B into
+            # the Θ=0 corner (a KKT point equal to the Identity strategy).
+            theta0 = 0.25 * rng.random((p, n))
+
+        def fun(x):
+            loss, grad = pidentity_loss_and_grad(x.reshape(p, n), V)
+            return loss, grad.ravel()
+
+        res = sopt.minimize(
+            fun,
+            theta0.ravel(),
+            jac=True,
+            method="L-BFGS-B",
+            bounds=[(0.0, None)] * (p * n),
+            options={"maxiter": maxiter},
+        )
+        if res.fun < best_loss:
+            best_loss = float(res.fun)
+            best_theta = res.x.reshape(p, n)
+
+    # Θ = 0 (the Identity strategy) is inside the search space; never
+    # return a local minimum that is worse than it.
+    identity_loss = float(np.trace(V))
+    if identity_loss < best_loss:
+        best_theta = np.zeros((p, n))
+        best_loss = identity_loss
+    return OptResult(PIdentity(best_theta), best_loss, restarts)

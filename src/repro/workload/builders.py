@@ -1,0 +1,188 @@
+"""Workload builders for the paper's experimental configurations (§8.1).
+
+Each builder returns an implicit workload :class:`~repro.linalg.Matrix` —
+a ``Kronecker``, a ``Weighted`` Kronecker, or a ``VStack`` of them — ready
+for the optimization operators.  Use
+:func:`repro.workload.util.as_union_of_products` to recover the
+``(weight, factors)`` decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..domain import Domain
+from ..linalg import (
+    AllRange,
+    Identity,
+    Kronecker,
+    Matrix,
+    Ones,
+    Permuted,
+    Prefix,
+    VStack,
+    Weighted,
+    WidthRange,
+)
+
+
+def all_range(n: int) -> Matrix:
+    """All 1-D range queries on a domain of size n."""
+    return AllRange(n)
+
+
+def prefix_1d(n: int) -> Matrix:
+    """The Prefix workload — a compact proxy for all range queries."""
+    return Prefix(n)
+
+
+def width_range(n: int, width: int = 32) -> Matrix:
+    """The Width-``width`` Range workload: ranges of exactly that length."""
+    return WidthRange(n, width)
+
+
+def permuted_range(n: int, seed: int = 0) -> Matrix:
+    """All range queries right-multiplied by a random permutation matrix.
+
+    Destroys domain locality: hierarchical/wavelet strategies tuned for
+    contiguous ranges perform poorly, while workload-adaptive optimization
+    recovers the structure (paper Section 8.2).
+    """
+    perm = np.random.default_rng(seed).permutation(n)
+    return Permuted(AllRange(n), perm)
+
+
+def prefix_2d(n1: int, n2: int | None = None) -> Matrix:
+    """The Prefix 2D workload P x P."""
+    n2 = n1 if n2 is None else n2
+    return Kronecker([Prefix(n1), Prefix(n2)])
+
+
+def prefix_3d(n: int) -> Matrix:
+    """The Prefix 3D workload P x P x P (scalability experiments)."""
+    return Kronecker([Prefix(n), Prefix(n), Prefix(n)])
+
+
+def all_range_2d(n1: int, n2: int | None = None) -> Matrix:
+    """All axis-aligned 2-D range queries R x R."""
+    n2 = n1 if n2 is None else n2
+    return Kronecker([AllRange(n1), AllRange(n2)])
+
+
+def all_range_kd(sizes) -> Matrix:
+    """All axis-aligned k-D range queries R x ... x R."""
+    return Kronecker([AllRange(n) for n in sizes])
+
+
+def prefix_identity(n1: int, n2: int | None = None) -> Matrix:
+    """The Prefix-Identity workload: union of P x I and I x P."""
+    n2 = n1 if n2 is None else n2
+    return VStack(
+        [
+            Kronecker([Prefix(n1), Identity(n2)]),
+            Kronecker([Identity(n1), Prefix(n2)]),
+        ]
+    )
+
+
+def range_total_union(n1: int, n2: int | None = None) -> Matrix:
+    """The union (R x T) ∪ (T x R) of Table 4b — the workload for which a
+    single-product strategy forces a suboptimal pairing (Section 6.2)."""
+    n2 = n1 if n2 is None else n2
+    return VStack(
+        [
+            Kronecker([AllRange(n1), Ones(1, n2)]),
+            Kronecker([Ones(1, n1), AllRange(n2)]),
+        ]
+    )
+
+
+def marginal(domain: Domain, attrs) -> Matrix:
+    """A single marginal: Identity on ``attrs``, Total elsewhere."""
+    keep = set(attrs)
+    unknown = keep - set(domain.attributes)
+    if unknown:
+        raise KeyError(f"unknown attributes: {sorted(unknown)}")
+    factors: list[Matrix] = [
+        Identity(n) if a in keep else Ones(1, n)
+        for a, n in zip(domain.attributes, domain.sizes)
+    ]
+    return Kronecker(factors)
+
+
+def k_way_marginals(domain: Domain, k: int) -> Matrix:
+    """All (d choose k) k-way marginals, as a union of products."""
+    d = len(domain)
+    if not 0 <= k <= d:
+        raise ValueError(f"k must be in [0, {d}]")
+    blocks = [
+        marginal(domain, subset)
+        for subset in itertools.combinations(domain.attributes, k)
+    ]
+    return blocks[0] if len(blocks) == 1 else VStack(blocks)
+
+
+def up_to_k_marginals(domain: Domain, k: int) -> Matrix:
+    """All i-way marginals for i <= k (Table 5's workload family)."""
+    blocks = []
+    for i in range(k + 1):
+        for subset in itertools.combinations(domain.attributes, i):
+            blocks.append(marginal(domain, subset))
+    return blocks[0] if len(blocks) == 1 else VStack(blocks)
+
+
+def all_marginals(domain: Domain) -> Matrix:
+    """All 2^d marginals."""
+    return up_to_k_marginals(domain, len(domain))
+
+
+def range_marginals(
+    domain: Domain, numeric: set | frozenset | list, k: int | None = None
+) -> Matrix:
+    """Marginals with AllRange in place of Identity on numeric attributes.
+
+    ``All Range-Marginals`` uses every attribute subset; pass ``k=2`` for
+    the 2-way variant of Table 3.
+    """
+    numeric = set(numeric)
+    d = len(domain)
+    ks = range(d + 1) if k is None else [k]
+    blocks = []
+    for i in ks:
+        for subset in itertools.combinations(domain.attributes, i):
+            keep = set(subset)
+            factors: list[Matrix] = []
+            for a, n in zip(domain.attributes, domain.sizes):
+                if a not in keep:
+                    factors.append(Ones(1, n))
+                elif a in numeric:
+                    factors.append(AllRange(n))
+                else:
+                    factors.append(Identity(n))
+            blocks.append(Kronecker(factors))
+    return blocks[0] if len(blocks) == 1 else VStack(blocks)
+
+
+def all_3way_ranges(domain: Domain) -> Matrix:
+    """All 3-way range-marginal combinations: AllRange on each 3-subset."""
+    blocks = []
+    for subset in itertools.combinations(domain.attributes, 3):
+        keep = set(subset)
+        factors: list[Matrix] = [
+            AllRange(n) if a in keep else Ones(1, n)
+            for a, n in zip(domain.attributes, domain.sizes)
+        ]
+        blocks.append(Kronecker(factors))
+    return blocks[0] if len(blocks) == 1 else VStack(blocks)
+
+
+def weighted_union(blocks: list[Matrix], weights: list[float]) -> Matrix:
+    """Stack workload blocks with accuracy weights (Section 3.3)."""
+    if len(blocks) != len(weights):
+        raise ValueError("blocks and weights must align")
+    wrapped = [
+        B if w == 1.0 else Weighted(B, float(w)) for B, w in zip(blocks, weights)
+    ]
+    return wrapped[0] if len(wrapped) == 1 else VStack(wrapped)

@@ -1,0 +1,165 @@
+"""Logical predicates and their vectorization (paper Sections 3.2 and 4.1).
+
+A *predicate* on a single attribute is a boolean function over that
+attribute's domain; its vectorized form (Definition 4, restricted to one
+attribute) is the 0/1 indicator vector over ``dom(A)``.  Conjunctions of
+single-attribute predicates vectorize as Kronecker products of the
+per-attribute vectors (Theorem 1) — the key fact behind HDMM's compact
+implicit representation.
+
+This module provides a small predicate language (equality, set membership,
+ranges, totals, and arbitrary callables) together with ``vectorize`` for
+single predicates and ``vectorize_set`` for predicate sets, which produce
+the per-attribute factor matrices consumed by :func:`repro.workload.logical.
+implicit_vectorize`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from ..linalg import Dense, Identity, Matrix, Ones, Prefix
+
+
+class Predicate:
+    """A boolean condition over a single attribute's domain.
+
+    Subclasses implement ``mask(n)`` returning the length-n 0/1 indicator.
+    """
+
+    def mask(self, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, value: int, n: int) -> bool:
+        return bool(self.mask(n)[value])
+
+
+class TruePredicate(Predicate):
+    """Matches every domain element (the ``Total`` predicate)."""
+
+    def mask(self, n: int) -> np.ndarray:
+        return np.ones(n)
+
+    def __repr__(self) -> str:
+        return "True"
+
+
+class Equals(Predicate):
+    """Matches a single domain element ``attr == value``."""
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def mask(self, n: int) -> np.ndarray:
+        if not 0 <= self.value < n:
+            raise ValueError(f"value {self.value} outside domain of size {n}")
+        out = np.zeros(n)
+        out[self.value] = 1.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"== {self.value}"
+
+
+class InSet(Predicate):
+    """Matches any element of a finite set (encodes disjunctions of
+    equalities, e.g. the merged 64-value Race attribute of Example 1)."""
+
+    def __init__(self, values: Iterable[int]):
+        self.values = sorted(set(int(v) for v in values))
+
+    def mask(self, n: int) -> np.ndarray:
+        out = np.zeros(n)
+        for v in self.values:
+            if not 0 <= v < n:
+                raise ValueError(f"value {v} outside domain of size {n}")
+            out[v] = 1.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"in {self.values}"
+
+
+class Range(Predicate):
+    """Matches ``lo <= attr <= hi`` (inclusive ordered range)."""
+
+    def __init__(self, lo: int, hi: int):
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def mask(self, n: int) -> np.ndarray:
+        if not (0 <= self.lo and self.hi < n):
+            raise ValueError(f"range [{self.lo}, {self.hi}] outside domain {n}")
+        out = np.zeros(n)
+        out[self.lo : self.hi + 1] = 1.0
+        return out
+
+    def __repr__(self) -> str:
+        return f"in [{self.lo}, {self.hi}]"
+
+
+class Lambda(Predicate):
+    """An arbitrary boolean function of the (integer-coded) value."""
+
+    def __init__(self, fn: Callable[[int], bool], name: str = "λ"):
+        self.fn = fn
+        self.name = name
+
+    def mask(self, n: int) -> np.ndarray:
+        return np.array([1.0 if self.fn(v) else 0.0 for v in range(n)])
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def vectorize(predicate: Predicate, n: int) -> np.ndarray:
+    """Definition 4 restricted to one attribute: the 0/1 indicator row."""
+    mask = np.asarray(predicate.mask(n), dtype=np.float64)
+    if mask.shape != (n,):
+        raise ValueError(f"predicate mask has shape {mask.shape}, expected ({n},)")
+    return mask
+
+
+def vectorize_set(predicates: Iterable[Predicate], n: int) -> Matrix:
+    """Vectorize a predicate set Φ = [φ1 ... φp] into its p x n matrix.
+
+    Recognizes the special sets of Section 3.3 and returns structured
+    matrices when possible (Identity, Total, Prefix), falling back to a
+    dense stack of indicator rows.
+    """
+    preds = list(predicates)
+    if len(preds) == 1 and isinstance(preds[0], TruePredicate):
+        return Ones(1, n)
+    if len(preds) == n and all(
+        isinstance(p, Equals) and p.value == i for i, p in enumerate(preds)
+    ):
+        return Identity(n)
+    if len(preds) == n and all(
+        isinstance(p, Range) and p.lo == 0 and p.hi == i for i, p in enumerate(preds)
+    ):
+        return Prefix(n)
+    return Dense(np.stack([vectorize(p, n) for p in preds]))
+
+
+def identity_predicates(n: int) -> list[Predicate]:
+    """The ``Identity`` predicate set: one equality per domain element."""
+    return [Equals(i) for i in range(n)]
+
+
+def prefix_predicates(n: int) -> list[Predicate]:
+    """The ``Prefix`` predicate set: ranges [0, i] for each i."""
+    return [Range(0, i) for i in range(n)]
+
+
+def all_range_predicates(n: int) -> list[Predicate]:
+    """The ``AllRange`` predicate set: every [i, j] with i <= j."""
+    return [Range(i, j) for i in range(n) for j in range(i, n)]
+
+
+def total_predicates() -> list[Predicate]:
+    """The ``Total`` predicate set: the single always-true predicate."""
+    return [TruePredicate()]

@@ -1,0 +1,154 @@
+"""SF1 / SF1+ proxy workloads on the CPH schema (paper Section 2).
+
+The paper's motivating workload is 4151 predicate counting queries drawn
+from the 2010 Census Summary File 1 tabulations over a Person relation
+with schema Hispanic(2) x Sex(2) x Race(64) x Relationship(17) x Age(115),
+plus State(51) for the SF1+ variant.  The exact query list is a Census
+artifact not distributed with the paper; following the substitution rule
+in DESIGN.md we build a *structurally faithful proxy*: a union of 32
+products (matching the paper's manually factored W*_SF1 form, Example 5)
+mixing Identity, Total, singleton, set-membership and age-range predicate
+sets in the proportions of the real tabulations (population totals, race
+iterations P3/P4, relationship P29, sex-by-age P12 and its race
+iterations, etc.).  Error *ratios* between mechanisms depend only on this
+structure, so the proxy exercises identical code paths.
+
+``sf1_workload(plus=True)`` adds state-level grouping by replacing the
+Total predicate set on State with Identity ∪ Total, exactly as the paper
+reduces SF1+ to 4151 products "by simply adding True to the Identity
+predicate set on State".
+"""
+
+from __future__ import annotations
+
+from ..domain import Domain
+from .logical import LogicalWorkload, Product
+from .predicates import (
+    Equals,
+    InSet,
+    Predicate,
+    Range,
+    TruePredicate,
+    identity_predicates,
+)
+
+#: Attribute order used throughout the experiments (Table 3 lists the CPH
+#: domain as 2 x 2 x 64 x 17 x 115 x 51).
+CPH_ATTRIBUTES = ("hispanic", "sex", "race", "relationship", "age", "state")
+CPH_SIZES = (2, 2, 64, 17, 115, 51)
+
+
+def cph_domain(include_state: bool = True) -> Domain:
+    """The Census of Population and Housing schema of Section 2."""
+    if include_state:
+        return Domain(CPH_ATTRIBUTES, CPH_SIZES)
+    return Domain(CPH_ATTRIBUTES[:-1], CPH_SIZES[:-1])
+
+
+def sf1_age_ranges() -> list[Predicate]:
+    """The P12 age grouping: [0,114], [0,4], [5,9], ..., [80,84], [85,114]."""
+    ranges: list[Predicate] = [Range(0, 114)]
+    for lo in range(0, 85, 5):
+        ranges.append(Range(lo, lo + 4))
+    ranges.append(Range(85, 114))
+    return ranges
+
+
+def _race_groups() -> list[list[int]]:
+    """Nine race groupings mimicking the P12A-I tabulation iterations.
+
+    The merged Race attribute has 64 values — one per combination of the
+    six binary race flags (Example 1).  Value v has bit i set when race
+    flag i is checked.  The groups below mirror the Census iterations:
+    'white alone', ..., 'two or more races'.
+    """
+    alone = [[1 << i] for i in range(6)]  # one race flag only
+    two_or_more = [[v for v in range(64) if bin(v).count("1") >= 2]]
+    any_white = [[v for v in range(64) if v & 1]]
+    nonzero = [[v for v in range(64) if v != 0]]
+    return alone + two_or_more + any_white + nonzero
+
+
+def sf1_workload(plus: bool = False) -> LogicalWorkload:
+    """The 32-product SF1 proxy (``plus=True`` for the SF1+ variant)."""
+    domain = cph_domain(include_state=True)
+    age_ranges = sf1_age_ranges()
+    adult = [Range(18, 114)]
+    products: list[Product] = []
+
+    def add(predicate_sets: dict) -> None:
+        products.append(Product(domain, predicate_sets))
+
+    # -- population counts and one-way tabulations (P1, P3, P5, P29...) ----
+    add({})  # total population
+    add({"race": identity_predicates(64)})  # P3: race
+    add({"hispanic": identity_predicates(2)})  # P4 margin
+    add({"relationship": identity_predicates(17)})  # P29: relationship
+    add({"sex": identity_predicates(2)})
+    add({"age": identity_predicates(115)})  # single-year age pyramid
+
+    # -- two-way tabulations ------------------------------------------------
+    add({"hispanic": identity_predicates(2), "race": identity_predicates(64)})
+    add({"sex": identity_predicates(2), "relationship": identity_predicates(17)})
+    add({"sex": identity_predicates(2), "age": age_ranges})  # P12
+    add({"hispanic": identity_predicates(2), "age": age_ranges})
+    add({"race": identity_predicates(64), "sex": identity_predicates(2)})
+
+    # -- P12 race iterations (sex x age-ranges per race group) --------------
+    for group in _race_groups():
+        add(
+            {
+                "sex": identity_predicates(2),
+                "age": age_ranges,
+                "race": [InSet(group)],
+            }
+        )
+
+    # -- adult (18+) variants (voting-age tabulations) -----------------------
+    add({"age": adult})
+    add({"age": adult, "sex": identity_predicates(2)})
+    add({"age": adult, "race": identity_predicates(64)})
+    add({"age": adult, "hispanic": identity_predicates(2)})
+    add(
+        {
+            "age": adult,
+            "sex": identity_predicates(2),
+            "hispanic": identity_predicates(2),
+        }
+    )
+
+    # -- assorted filtered counts mirroring single-query products ------------
+    add({"sex": [Equals(0)], "age": [Range(0, 4)]})  # e.g. males under 5
+    add({"sex": [Equals(1)], "age": [Range(0, 4)]})
+    add({"hispanic": [Equals(1)], "sex": identity_predicates(2)})
+    add({"relationship": [Equals(0)], "age": age_ranges})  # householders by age
+    add({"relationship": identity_predicates(17), "age": adult})
+    add(
+        {
+            "hispanic": [Equals(1)],
+            "race": identity_predicates(64),
+            "sex": identity_predicates(2),
+        }
+    )
+    add({"sex": identity_predicates(2), "age": identity_predicates(115)})
+
+    assert len(products) == 32, f"expected 32 products, got {len(products)}"
+
+    if plus:
+        # State-level grouping: Identity ∪ Total on State in every product.
+        state_preds = identity_predicates(51) + [TruePredicate()]
+        products = [
+            Product(
+                domain,
+                {
+                    **{
+                        a: p.predicate_sets[a]
+                        for a in domain.attributes
+                        if a != "state"
+                    },
+                    "state": state_preds,
+                },
+            )
+            for p in products
+        ]
+    return LogicalWorkload(products)

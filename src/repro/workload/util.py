@@ -1,0 +1,54 @@
+"""Normalization helpers for implicit workloads.
+
+The optimization operators of Section 6 consume a workload as a *union of
+products* — a list of ``(weight, [W1, ..., Wd])`` terms.  This module
+recovers that decomposition from the :class:`~repro.linalg.Matrix`
+representations produced by ImpVec and the workload builders.
+"""
+
+from __future__ import annotations
+
+from ..linalg import Kronecker, Matrix, VStack, Weighted
+
+UnionOfProducts = list[tuple[float, list[Matrix]]]
+
+
+def as_union_of_products(W: Matrix) -> UnionOfProducts:
+    """Decompose an implicit workload into weighted Kronecker terms.
+
+    * ``Kronecker`` → a single unit-weight term with its factors;
+    * ``Weighted``  → the inner decomposition with scaled weights;
+    * ``VStack``    → concatenation of the blocks' decompositions;
+    * anything else → a single-factor product ``[(1.0, [W])]`` (the 1-D
+      case, where the workload itself is the only factor).
+    """
+    if isinstance(W, Weighted):
+        inner = as_union_of_products(W.base)
+        return [(w * W.weight, factors) for w, factors in inner]
+    if isinstance(W, Kronecker):
+        return [(1.0, list(W.factors))]
+    if isinstance(W, VStack):
+        out: UnionOfProducts = []
+        for block in W.blocks:
+            out.extend(as_union_of_products(block))
+        return out
+    return [(1.0, [W])]
+
+
+def num_attributes(W: Matrix) -> int:
+    """Number of attributes (factors per product) of an implicit workload."""
+    terms = as_union_of_products(W)
+    d = len(terms[0][1])
+    if any(len(factors) != d for _, factors in terms):
+        raise ValueError("inconsistent number of factors across products")
+    return d
+
+
+def attribute_sizes(W: Matrix) -> list[int]:
+    """Per-attribute domain sizes of an implicit workload."""
+    terms = as_union_of_products(W)
+    sizes = [f.shape[1] for f in terms[0][1]]
+    for _, factors in terms:
+        if [f.shape[1] for f in factors] != sizes:
+            raise ValueError("inconsistent attribute sizes across products")
+    return sizes

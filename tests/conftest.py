@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_domain():
+    return Domain(["a", "b", "c"], [3, 4, 2])
+
+
+@pytest.fixture
+def medium_domain():
+    return Domain(["a", "b", "c", "d"], [6, 5, 4, 3])

@@ -1,0 +1,197 @@
+"""Tests for the data-independent baseline mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro import workload as wl
+from repro.baselines import (
+    HB,
+    LRM,
+    DataCube,
+    GreedyH,
+    IdentityMechanism,
+    LaplaceMechanism,
+    MatrixMechanism,
+    Privelet,
+    QuadTree,
+    hb_branching,
+)
+from repro.core.error import squared_error
+from repro.domain import Domain
+
+
+class TestIdentityMechanism:
+    def test_strategy_is_identity(self):
+        A = IdentityMechanism().select(wl.prefix_1d(8))
+        assert np.allclose(A.dense(), np.eye(8))
+
+    def test_error_is_trace_of_gram(self):
+        W = wl.prefix_1d(8)
+        assert np.isclose(
+            IdentityMechanism().squared_error(W), np.trace(W.gram().dense())
+        )
+
+    def test_multidimensional(self):
+        W = wl.prefix_2d(4)
+        A = IdentityMechanism().select(W)
+        assert A.shape == (16, 16)
+
+    def test_answer_runs(self, rng):
+        W = wl.prefix_1d(8)
+        ans = IdentityMechanism().answer(W, rng.poisson(10, 8).astype(float), 1.0, 0)
+        assert ans.shape == (8,)
+
+
+class TestLaplaceMechanism:
+    def test_error_formula(self):
+        W = wl.prefix_1d(8)
+        assert np.isclose(
+            LaplaceMechanism().squared_error(W), 8 * W.sensitivity() ** 2
+        )
+
+    def test_answer_is_direct_noise(self, rng):
+        W = wl.prefix_1d(8)
+        x = rng.poisson(10, 8).astype(float)
+        ans = LaplaceMechanism().answer(W, x, eps=1e12, rng=0)
+        assert np.allclose(ans, W.matvec(x), atol=1e-6)
+
+    def test_lm_wins_tiny_workloads(self):
+        """For a single total query LM is optimal — Identity is far worse."""
+        from repro.workload import k_way_marginals
+
+        dom = Domain(["a", "b"], [16, 16])
+        W = k_way_marginals(dom, 0)
+        assert (
+            LaplaceMechanism().squared_error(W)
+            < IdentityMechanism().squared_error(W)
+        )
+
+
+class TestPrivelet:
+    def test_power_of_two_exact(self):
+        A = Privelet().select(wl.prefix_1d(16))
+        assert A.shape == (16, 16)
+        assert A.sensitivity() == 5.0
+
+    def test_non_power_of_two_padded(self):
+        A = Privelet().select(wl.prefix_1d(12))
+        assert A.shape[1] == 12
+        # Strategy must still support the workload (full rank).
+        assert np.linalg.matrix_rank(A.dense()) == 12
+
+    def test_2d_kron_wavelet(self):
+        A = Privelet().select(wl.prefix_2d(8))
+        assert A.shape == (64, 64)
+
+    def test_beats_identity_on_large_range_workload(self):
+        # Wavelets win on large domains (paper Table 4a: at n=1024 the
+        # Wavelet ratio 1.83 < Identity 2.36); at small n Identity wins.
+        W = wl.all_range(1024)
+        assert Privelet().squared_error(W) < IdentityMechanism().squared_error(W)
+
+
+class TestHB:
+    def test_branching_selection_reasonable(self):
+        for n in [64, 256, 1024, 4096]:
+            b = hb_branching(n)
+            assert 2 <= b <= 32
+
+    def test_fixed_branching_override(self):
+        A = HB(branching=4).select(wl.prefix_1d(16))
+        assert A.sensitivity() == 3.0  # 16, 4, 1
+
+    def test_strategy_supports_workload(self):
+        A = HB().select(wl.prefix_1d(32))
+        assert np.linalg.matrix_rank(A.dense()) == 32
+
+    def test_2d(self):
+        A = HB().select(wl.prefix_2d(8))
+        assert A.shape[1] == 64
+
+    def test_competitive_on_ranges(self):
+        W = wl.all_range(256)
+        ratio = np.sqrt(
+            HB().squared_error(W) / IdentityMechanism().squared_error(W)
+        )
+        assert ratio < 1.0  # HB beats Identity on large range workloads
+
+
+class TestQuadTree:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            QuadTree().select(wl.prefix_1d(8))
+
+    def test_levels_partition_domain(self):
+        A = QuadTree().select(wl.prefix_2d(8))
+        D = A.dense()
+        # the finest level contains the identity over 64 cells
+        assert np.linalg.matrix_rank(D) == 64
+
+    def test_error_positive_and_finite(self):
+        err = QuadTree().squared_error(wl.prefix_2d(8))
+        assert np.isfinite(err) and err > 0
+
+
+class TestGreedyH:
+    def test_1d_only(self):
+        with pytest.raises(ValueError):
+            GreedyH().select(wl.prefix_2d(4))
+
+    def test_supports_workload(self):
+        A = GreedyH().select(wl.prefix_1d(16))
+        assert np.linalg.matrix_rank(A.dense()) == 16
+
+    def test_beats_unweighted_hb_on_prefix(self):
+        W = wl.prefix_1d(128)
+        assert GreedyH().squared_error(W) < HB(branching=2).squared_error(W) * 1.01
+
+    def test_sensitivity_one(self):
+        A = GreedyH().select(wl.prefix_1d(32))
+        assert np.isclose(A.sensitivity(), 1.0)
+
+
+class TestDataCube:
+    def test_requires_marginal_workload(self):
+        with pytest.raises(ValueError):
+            DataCube().squared_error(wl.prefix_2d(4))
+
+    def test_selects_superset_coverage(self):
+        dom = Domain(["a", "b", "c"], [4, 4, 4])
+        W = wl.k_way_marginals(dom, 1)
+        err = DataCube().squared_error(W)
+        assert np.isfinite(err) and err > 0
+
+    def test_strategy_is_marginals(self):
+        dom = Domain(["a", "b"], [4, 4])
+        W = wl.k_way_marginals(dom, 1)
+        A = DataCube().select(W)
+        from repro.linalg import MarginalsStrategy
+
+        assert isinstance(A, MarginalsStrategy)
+
+    def test_full_table_workload_measures_full_table(self):
+        dom = Domain(["a", "b"], [3, 3])
+        W = wl.k_way_marginals(dom, 2)
+        err_dc = DataCube().squared_error(W)
+        # measuring the full table directly: error = cells = 9
+        assert np.isclose(err_dc, 9.0)
+
+
+class TestLRMAndMM:
+    def test_lrm_runs_small(self):
+        W = wl.prefix_1d(16)
+        err = LRM(maxiter=200).squared_error(W)
+        ident = IdentityMechanism().squared_error(W)
+        assert err < ident * 1.5
+
+    def test_lrm_infeasible_large(self):
+        with pytest.raises(MemoryError):
+            LRM().select(wl.prefix_1d(100_000))
+
+    def test_mm_infeasible_beyond_toy(self):
+        with pytest.raises(MemoryError):
+            MatrixMechanism().select(wl.prefix_1d(512))
+
+    def test_mm_runs_tiny(self):
+        err = MatrixMechanism(restarts=1, maxiter=200).squared_error(wl.prefix_1d(8))
+        assert np.isfinite(err) and err > 0

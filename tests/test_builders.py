@@ -1,0 +1,157 @@
+"""Tests for the experiment workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+from repro.workload import (
+    all_3way_ranges,
+    all_marginals,
+    all_range,
+    all_range_2d,
+    as_union_of_products,
+    attribute_sizes,
+    k_way_marginals,
+    marginal,
+    num_attributes,
+    permuted_range,
+    prefix_1d,
+    prefix_2d,
+    prefix_3d,
+    prefix_identity,
+    range_marginals,
+    range_total_union,
+    up_to_k_marginals,
+    weighted_union,
+    width_range,
+)
+
+
+@pytest.fixture
+def dom():
+    return Domain(["a", "b", "c", "d"], [3, 4, 2, 5])
+
+
+class Test1D:
+    def test_all_range_count(self):
+        assert all_range(8).shape[0] == 36
+
+    def test_prefix_shape(self):
+        assert prefix_1d(8).shape == (8, 8)
+
+    def test_width_range(self):
+        W = width_range(64, 32)
+        assert W.shape == (33, 64)
+        assert np.all(W.dense().sum(axis=1) == 32)
+
+    def test_permuted_range_is_column_permutation(self):
+        W = permuted_range(8, seed=1)
+        base = all_range(8).dense()
+        D = W.dense()
+        assert sorted(map(tuple, D.T.tolist())) == sorted(map(tuple, base.T.tolist()))
+
+    def test_permuted_range_differs_from_base(self):
+        assert not np.allclose(permuted_range(8, seed=1).dense(), all_range(8).dense())
+
+
+class Test2D3D:
+    def test_prefix_2d(self):
+        W = prefix_2d(4)
+        assert W.shape == (16, 16)
+
+    def test_prefix_2d_rectangular(self):
+        assert prefix_2d(4, 8).shape == (32, 32)
+
+    def test_prefix_3d(self):
+        assert prefix_3d(4).shape == (64, 64)
+
+    def test_all_range_2d(self):
+        W = all_range_2d(4)
+        assert W.shape == (100, 16)
+
+    def test_prefix_identity_union(self):
+        W = prefix_identity(4)
+        assert len(as_union_of_products(W)) == 2
+        assert W.shape == (32, 16)
+
+    def test_range_total_union(self):
+        W = range_total_union(4)
+        assert W.shape == (20, 16)
+        terms = as_union_of_products(W)
+        assert len(terms) == 2
+
+
+class TestMarginals:
+    def test_single_marginal(self, dom):
+        W = marginal(dom, ["a", "c"])
+        assert W.shape == (6, 120)
+        D = W.dense()
+        assert np.all(D.sum(axis=0) == 1)  # partition of the domain
+
+    def test_unknown_attr_rejected(self, dom):
+        with pytest.raises(KeyError):
+            marginal(dom, ["z"])
+
+    def test_k_way_count(self, dom):
+        W = k_way_marginals(dom, 2)
+        assert len(as_union_of_products(W)) == 6
+
+    def test_k_validation(self, dom):
+        with pytest.raises(ValueError):
+            k_way_marginals(dom, 5)
+
+    def test_up_to_k(self, dom):
+        W = up_to_k_marginals(dom, 1)
+        assert len(as_union_of_products(W)) == 5  # total + 4 one-way
+
+    def test_all_marginals(self, dom):
+        W = all_marginals(dom)
+        assert len(as_union_of_products(W)) == 16
+
+    def test_zero_way_is_total(self, dom):
+        W = k_way_marginals(dom, 0)
+        assert W.shape == (1, 120)
+        assert np.allclose(W.dense(), 1.0)
+
+
+class TestRangeMarginals:
+    def test_numeric_attributes_get_ranges(self, dom):
+        W = range_marginals(dom, numeric={"b"}, k=1)
+        terms = as_union_of_products(W)
+        assert len(terms) == 4
+        # The b-marginal uses AllRange (10 rows), others Identity.
+        shapes = sorted(t[1][1].shape[0] for t in terms)
+        assert 10 in [f.shape[0] for _, fs in terms for f in fs]
+
+    def test_all_3way_ranges(self, dom):
+        W = all_3way_ranges(dom)
+        assert len(as_union_of_products(W)) == 4
+
+
+class TestUtil:
+    def test_attribute_sizes(self, dom):
+        assert attribute_sizes(k_way_marginals(dom, 2)) == [3, 4, 2, 5]
+
+    def test_num_attributes(self, dom):
+        assert num_attributes(all_marginals(dom)) == 4
+
+    def test_1d_workload_single_factor(self):
+        terms = as_union_of_products(prefix_1d(8))
+        assert len(terms) == 1
+        assert len(terms[0][1]) == 1
+
+    def test_weighted_union(self):
+        W = weighted_union([prefix_2d(4), all_range_2d(4)], [1.0, 3.0])
+        terms = as_union_of_products(W)
+        assert [w for w, _ in terms] == [1.0, 3.0]
+
+    def test_weighted_union_validates(self):
+        with pytest.raises(ValueError):
+            weighted_union([prefix_2d(4)], [1.0, 2.0])
+
+    def test_nested_weighted_vstack_decomposition(self):
+        from repro.linalg import VStack, Weighted
+
+        W = Weighted(VStack([prefix_2d(4), Weighted(all_range_2d(4), 2.0)]), 3.0)
+        terms = as_union_of_products(W)
+        assert [w for w, _ in terms] == [3.0, 6.0]

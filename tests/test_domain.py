@@ -1,0 +1,99 @@
+"""Tests for the relational domain model."""
+
+import pytest
+
+from repro.domain import Domain
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = Domain(["a", "b"], [3, 4])
+        assert d.attributes == ("a", "b")
+        assert d.sizes == (3, 4)
+
+    def test_fromdict_preserves_order(self):
+        d = Domain.fromdict({"x": 2, "y": 5, "z": 3})
+        assert d.attributes == ("x", "y", "z")
+        assert d.sizes == (2, 5, 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(["a", "b"], [3])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(["a", "a"], [3, 4])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(["a"], [0])
+        with pytest.raises(ValueError):
+            Domain(["a"], [-2])
+
+
+class TestQueries:
+    def test_total_size(self):
+        assert Domain(["a", "b", "c"], [3, 4, 5]).size() == 60
+
+    def test_attribute_size(self):
+        d = Domain(["a", "b"], [3, 4])
+        assert d.size("b") == 4
+        assert d["a"] == 3
+
+    def test_index(self):
+        d = Domain(["a", "b", "c"], [3, 4, 5])
+        assert d.index("c") == 2
+
+    def test_contains(self):
+        d = Domain(["a"], [3])
+        assert "a" in d
+        assert "z" not in d
+
+    def test_iter_and_len(self):
+        d = Domain(["a", "b"], [3, 4])
+        assert list(d) == ["a", "b"]
+        assert len(d) == 2
+
+    def test_shape(self):
+        assert Domain(["a", "b"], [3, 4]).shape() == (3, 4)
+
+
+class TestProjection:
+    def test_project_keeps_order(self):
+        d = Domain(["a", "b", "c"], [3, 4, 5])
+        p = d.project(["c", "a"])
+        assert p.attributes == ("a", "c")
+        assert p.sizes == (3, 5)
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Domain(["a"], [3]).project(["q"])
+
+    def test_marginalize(self):
+        d = Domain(["a", "b", "c"], [3, 4, 5])
+        m = d.marginalize(["b"])
+        assert m.attributes == ("a", "c")
+
+    def test_merge(self):
+        d1 = Domain(["a", "b"], [3, 4])
+        d2 = Domain(["b", "c"], [4, 5])
+        merged = d1.merge(d2)
+        assert merged.attributes == ("a", "b", "c")
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Domain(["a"], [3]).merge(Domain(["a"], [4]))
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        d1 = Domain(["a"], [3])
+        d2 = Domain(["a"], [3])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_neq_different_sizes(self):
+        assert Domain(["a"], [3]) != Domain(["a"], [4])
+
+    def test_neq_non_domain(self):
+        assert Domain(["a"], [3]) != "not a domain"

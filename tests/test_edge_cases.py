@@ -1,0 +1,144 @@
+"""Edge cases and failure injection across the library."""
+
+import numpy as np
+import pytest
+
+from repro import HDMM, workload as wl
+from repro.baselines import DAWA, DataCube
+from repro.baselines.dawa import partition_costs
+from repro.core.error import squared_error
+from repro.core.measure import laplace_measure
+from repro.domain import Domain
+from repro.linalg import Identity, Kronecker, Ones, Prefix, VStack, Weighted
+from repro.optimize import opt_0, opt_hdmm, opt_marginals
+
+
+class TestDegenerateDomains:
+    def test_size_one_attribute(self):
+        dom = Domain(["a", "b"], [1, 4])
+        W = wl.k_way_marginals(dom, 1)
+        res = opt_hdmm(W, restarts=1, rng=0)
+        assert np.isfinite(res.loss)
+
+    def test_single_attribute_domain(self):
+        dom = Domain(["a"], [8])
+        W = wl.all_marginals(dom)
+        res = opt_hdmm(W, restarts=1, rng=0)
+        assert np.isfinite(res.loss)
+
+    def test_single_cell_domain(self):
+        W = Kronecker([Ones(1, 1)])
+        mech = HDMM(restarts=1, rng=0).fit(W)
+        ans = mech.run(np.array([5.0]), eps=100.0, rng=0)
+        assert abs(ans[0] - 5.0) < 1.0
+
+    def test_n2_prefix(self):
+        res = opt_0(Prefix(2).gram().dense(), p=1, rng=0)
+        assert np.isfinite(res.loss)
+
+
+class TestWeightedWorkloads:
+    def test_scaling_workload_scales_error(self):
+        W = wl.prefix_1d(16)
+        W2 = Weighted(W, 3.0)
+        A = Identity(16)
+        assert np.isclose(squared_error(W2, A), 9 * squared_error(W, A))
+
+    def test_hdmm_on_weighted_workload(self):
+        W = Weighted(wl.prefix_2d(8), 2.0)
+        res = opt_hdmm(W, restarts=1, rng=0)
+        assert np.isfinite(res.loss)
+
+
+class TestNoiseEdgeCases:
+    def test_zero_data_vector(self):
+        W = wl.prefix_1d(8)
+        mech = HDMM(restarts=1, rng=0).fit(W)
+        ans = mech.run(np.zeros(8), eps=1.0, rng=0)
+        assert ans.shape == (8,)
+
+    def test_huge_counts_no_overflow(self):
+        W = wl.prefix_1d(8)
+        mech = HDMM(restarts=1, rng=0).fit(W)
+        x = np.full(8, 1e12)
+        ans = mech.run(x, eps=1.0, rng=0)
+        assert np.all(np.isfinite(ans))
+
+    def test_tiny_eps_still_runs(self):
+        W = wl.prefix_1d(8)
+        y = laplace_measure(Identity(8), np.ones(8), eps=1e-6, rng=0)
+        assert np.all(np.isfinite(y))
+
+
+class TestDAWAEdges:
+    def test_domain_not_power_of_two(self):
+        x = np.random.default_rng(0).random(100)
+        _, buckets = partition_costs(x, penalty=0.5)
+        assert buckets[-1][1] == 100
+
+    def test_single_cell_buckets_possible(self):
+        x = np.arange(16.0) ** 3  # wildly non-uniform
+        _, buckets = partition_costs(x, penalty=1e-9)
+        assert all(hi - lo == 1 for lo, hi in buckets)
+
+    def test_whole_domain_one_bucket(self):
+        x = np.full(32, 7.0)
+        _, buckets = partition_costs(x, penalty=1e12)
+        assert len(buckets) == 1
+
+    def test_answer_on_all_zero_data(self):
+        W = wl.prefix_1d(32)
+        ans = DAWA().answer(W, np.zeros(32), eps=1.0, rng=0)
+        assert np.all(np.isfinite(ans))
+
+
+class TestDataCubeEdges:
+    def test_total_only_workload(self):
+        dom = Domain(["a", "b"], [4, 4])
+        W = wl.k_way_marginals(dom, 0)
+        err = DataCube().squared_error(W)
+        assert np.isfinite(err)
+
+    def test_weighted_marginals(self):
+        dom = Domain(["a", "b"], [4, 4])
+        W = wl.weighted_union(
+            [wl.marginal(dom, ["a"]), wl.marginal(dom, ["b"])], [1.0, 10.0]
+        )
+        err = DataCube().squared_error(W)
+        assert np.isfinite(err) and err > 0
+
+
+class TestMarginalsEdges:
+    def test_optm_single_attribute(self):
+        dom = Domain(["a"], [12])
+        W = wl.all_marginals(dom)
+        res = opt_marginals(W, rng=0)
+        assert np.isfinite(res.loss)
+
+    def test_optm_with_weighted_workload(self):
+        dom = Domain(["a", "b"], [4, 4])
+        W = wl.weighted_union(
+            [wl.marginal(dom, ["a"]), wl.k_way_marginals(dom, 2)], [5.0, 1.0]
+        )
+        res = opt_marginals(W, rng=0)
+        assert np.isclose(res.loss, squared_error(W, res.strategy), rtol=1e-4)
+
+
+class TestStrategySanity:
+    def test_union_strategy_answers_unbiased(self, rng):
+        """LSMR reconstruction through a stacked strategy stays unbiased."""
+        from repro.optimize import opt_union
+
+        W = wl.range_total_union(8)
+        strategy = opt_union(W, rng=0).strategy
+        x = rng.poisson(50, 64).astype(float)
+        from repro.core.measure import laplace_measure
+        from repro.core.reconstruct import answer_workload, least_squares
+
+        estimates = []
+        for s in range(120):
+            y = laplace_measure(strategy, x, eps=2.0, rng=s)
+            estimates.append(answer_workload(W, least_squares(strategy, y)))
+        mean_est = np.mean(estimates, axis=0)
+        truth = W.matvec(x)
+        assert np.abs(mean_est - truth).max() < 0.15 * (np.abs(truth).max() + 1)

@@ -1,0 +1,117 @@
+"""Tests for the implicit matrix base classes."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import Dense, Identity, Matrix
+
+
+class TestDense:
+    def test_matvec_rmatvec(self, rng):
+        A = rng.standard_normal((4, 6))
+        M = Dense(A)
+        x = rng.standard_normal(6)
+        y = rng.standard_normal(4)
+        assert np.allclose(M.matvec(x), A @ x)
+        assert np.allclose(M.rmatvec(y), A.T @ y)
+
+    def test_matmat(self, rng):
+        A = rng.standard_normal((4, 6))
+        X = rng.standard_normal((6, 3))
+        assert np.allclose(Dense(A).matmat(X), A @ X)
+
+    def test_gram(self, rng):
+        A = rng.standard_normal((4, 6))
+        assert np.allclose(Dense(A).gram().dense(), A.T @ A)
+
+    def test_sensitivity_is_max_abs_col_sum(self):
+        A = np.array([[1.0, -2.0], [3.0, 0.5]])
+        assert Dense(A).sensitivity() == 4.0
+
+    def test_column_abs_sums(self):
+        A = np.array([[1.0, -2.0], [3.0, 0.5]])
+        assert np.allclose(Dense(A).column_abs_sums(), [4.0, 2.5])
+
+    def test_pinv(self, rng):
+        A = rng.standard_normal((5, 3))
+        assert np.allclose(Dense(A).pinv().dense(), np.linalg.pinv(A))
+
+    def test_transpose(self, rng):
+        A = rng.standard_normal((4, 6))
+        assert np.allclose(Dense(A).T.dense(), A.T)
+
+    def test_trace_square_only(self, rng):
+        with pytest.raises(ValueError):
+            Dense(rng.standard_normal((3, 4))).trace()
+        A = rng.standard_normal((4, 4))
+        assert np.isclose(Dense(A).trace(), np.trace(A))
+
+    def test_sum(self, rng):
+        A = rng.standard_normal((4, 6))
+        assert np.isclose(Dense(A).sum(), A.sum())
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Dense(np.zeros(3))
+
+
+class TestOperatorSugar:
+    def test_matmul_ndarray(self, rng):
+        A = rng.standard_normal((4, 6))
+        X = rng.standard_normal((6, 2))
+        assert np.allclose(Dense(A) @ X, A @ X)
+
+    def test_matmul_matrix_lazy_product(self, rng):
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((6, 3))
+        P = Dense(A) @ Dense(B)
+        x = rng.standard_normal(3)
+        assert np.allclose(P.matvec(x), A @ B @ x)
+        assert np.allclose(P.dense(), A @ B)
+        y = rng.standard_normal(4)
+        assert np.allclose(P.rmatvec(y), (A @ B).T @ y)
+
+    def test_matmul_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Dense(rng.standard_normal((4, 6))) @ Dense(rng.standard_normal((5, 3)))
+
+    def test_scalar_multiplication(self, rng):
+        A = rng.standard_normal((3, 3))
+        W = 2.5 * Dense(A)
+        assert np.allclose(W.dense(), 2.5 * A)
+
+    def test_default_dense_via_matmat(self, rng):
+        # A Matrix subclass that only implements matvec still densifies.
+        class OnlyMatvec(Matrix):
+            def __init__(self):
+                self.shape = (2, 3)
+
+            def matvec(self, x):
+                return np.array([x.sum(), x[0] - x[2]])
+
+        D = OnlyMatvec().dense()
+        assert np.allclose(D, [[1, 1, 1], [1, 0, -1]])
+
+
+class TestLazyTranspose:
+    def test_double_transpose_returns_base(self):
+        I = Identity(4)
+        assert I.T.T is I or np.allclose(I.T.T.dense(), I.dense())
+
+    def test_lazy_transpose_matvec(self, rng):
+        A = rng.standard_normal((4, 6))
+
+        class Wrapped(Matrix):
+            def __init__(self):
+                self.shape = (4, 6)
+
+            def matvec(self, x):
+                return A @ x
+
+            def rmatvec(self, y):
+                return A.T @ y
+
+        T = Wrapped().T
+        y = rng.standard_normal(4)
+        assert np.allclose(T.matvec(y), A.T @ y)
+        assert np.allclose(T.dense(), A.T)

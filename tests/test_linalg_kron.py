@@ -1,0 +1,98 @@
+"""Tests for Kronecker products and the kmatvec algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import Dense, Identity, Kronecker, Ones, Prefix, kmatvec
+
+
+def explicit_kron(mats):
+    out = mats[0]
+    for M in mats[1:]:
+        out = np.kron(out, M)
+    return out
+
+
+class TestKmatvec:
+    @pytest.mark.parametrize(
+        "shapes",
+        [
+            [(2, 3), (4, 5)],
+            [(3, 3), (2, 4), (5, 2)],
+            [(1, 4), (6, 2), (3, 3)],
+            [(4, 4)],
+            [(2, 2), (2, 2), (2, 2), (2, 2)],
+        ],
+    )
+    def test_matches_explicit(self, shapes, rng):
+        mats = [rng.standard_normal(s) for s in shapes]
+        x = rng.standard_normal(int(np.prod([s[1] for s in shapes])))
+        expected = explicit_kron(mats) @ x
+        got = kmatvec([Dense(M) for M in mats], x)
+        assert np.allclose(expected, got)
+
+    def test_wrong_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            kmatvec([Dense(rng.standard_normal((2, 3)))], np.zeros(4))
+
+
+class TestKronecker:
+    def test_shape(self):
+        K = Kronecker([Dense(np.zeros((2, 3))), Dense(np.zeros((4, 5)))])
+        assert K.shape == (8, 15)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Kronecker([])
+
+    def test_rmatvec(self, rng):
+        mats = [rng.standard_normal((3, 4)), rng.standard_normal((2, 5))]
+        K = Kronecker([Dense(M) for M in mats])
+        y = rng.standard_normal(6)
+        assert np.allclose(K.rmatvec(y), explicit_kron(mats).T @ y)
+
+    def test_gram_identity(self, rng):
+        """WᵀW = W1ᵀW1 ⊗ W2ᵀW2 (Section 4.4)."""
+        mats = [rng.standard_normal((3, 4)), rng.standard_normal((2, 5))]
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.allclose(K.gram().dense(), E.T @ E)
+
+    def test_pinv_identity(self, rng):
+        """(A1 ⊗ A2)⁺ = A1⁺ ⊗ A2⁺ (Section 4.4)."""
+        mats = [rng.standard_normal((4, 3)), rng.standard_normal((5, 2))]
+        K = Kronecker([Dense(M) for M in mats])
+        assert np.allclose(K.pinv().dense(), np.linalg.pinv(explicit_kron(mats)))
+
+    def test_sensitivity_theorem3(self, rng):
+        """‖A1 ⊗ A2‖₁ = ‖A1‖₁·‖A2‖₁ (Theorem 3)."""
+        mats = [np.abs(rng.standard_normal((3, 4))), np.abs(rng.standard_normal((2, 5)))]
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.isclose(K.sensitivity(), np.abs(E).sum(axis=0).max())
+
+    def test_column_abs_sums(self, rng):
+        mats = [rng.standard_normal((3, 4)), rng.standard_normal((2, 5))]
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.allclose(K.column_abs_sums(), np.abs(E).sum(axis=0))
+
+    def test_transpose(self, rng):
+        mats = [rng.standard_normal((3, 4)), rng.standard_normal((2, 5))]
+        K = Kronecker([Dense(M) for M in mats])
+        assert np.allclose(K.T.dense(), explicit_kron(mats).T)
+
+    def test_trace_and_sum(self, rng):
+        mats = [rng.standard_normal((4, 4)), rng.standard_normal((3, 3))]
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.isclose(K.trace(), np.trace(E))
+        assert np.isclose(K.sum(), E.sum())
+
+    def test_structured_factors(self, rng):
+        """Kronecker works with implicit factors (Identity, Ones, Prefix)."""
+        K = Kronecker([Identity(3), Ones(1, 4), Prefix(2)])
+        x = rng.standard_normal(24)
+        E = explicit_kron([np.eye(3), np.ones((1, 4)), np.tril(np.ones((2, 2)))])
+        assert np.allclose(K.matvec(x), E @ x)
+        assert K.sensitivity() == 1 * 1 * 2

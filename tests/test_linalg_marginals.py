@@ -1,0 +1,183 @@
+"""Tests for the marginals algebra (Section 6.3, Appendix A.4)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    MarginalsAlgebra,
+    MarginalsGram,
+    MarginalsStrategy,
+    index_to_subset,
+    marginal_c_matrix,
+    marginal_query_matrix,
+    subset_to_index,
+)
+
+SIZES = (2, 3, 4)
+
+
+class TestIndexing:
+    def test_subset_roundtrip(self):
+        attrs = ("a", "b", "c")
+        for a in range(8):
+            subset = index_to_subset(a, attrs)
+            assert subset_to_index(subset, attrs) == a
+
+    def test_example9_convention(self):
+        """I ⊗ T ⊗ I corresponds to C(101₂) = C(5) (paper Example 9)."""
+        attrs = ("x", "y", "z")
+        assert subset_to_index(("x", "z"), attrs) == 5
+
+
+class TestCMatrices:
+    def test_full_index_is_identity(self):
+        C = marginal_c_matrix(SIZES, 7)
+        assert np.allclose(C.dense(), np.eye(24))
+
+    def test_zero_index_is_all_ones(self):
+        C = marginal_c_matrix(SIZES, 0)
+        assert np.allclose(C.dense(), np.ones((24, 24)))
+
+    def test_query_matrix_gram_is_c(self):
+        for a in range(8):
+            Q = marginal_query_matrix(SIZES, a)
+            C = marginal_c_matrix(SIZES, a)
+            assert np.allclose(Q.gram().dense(), C.dense()), a
+
+    def test_query_sensitivity_one(self):
+        for a in range(8):
+            assert marginal_query_matrix(SIZES, a).sensitivity() == 1.0
+
+
+class TestAlgebra:
+    def test_cbar_table(self):
+        alg = MarginalsAlgebra(SIZES)
+        # C̄(k) = product of n_i over zero bits of k.
+        assert alg.cbar[7] == 1  # all kept
+        assert alg.cbar[0] == 24  # none kept
+        assert alg.cbar[0b100] == 12  # keep a (n=2) → 3*4
+
+    def test_proposition4_product(self, rng):
+        """G(u)G(v) = G(X(u)v)."""
+        alg = MarginalsAlgebra(SIZES)
+        u, v = rng.random(8), rng.random(8)
+        Gu = MarginalsGram(SIZES, u).dense()
+        Gv = MarginalsGram(SIZES, v).dense()
+        w = alg.multiply_weights(u, v)
+        assert np.allclose(Gu @ Gv, MarginalsGram(SIZES, w).dense())
+
+    def test_x_matrix_consistent_with_multiply(self, rng):
+        alg = MarginalsAlgebra(SIZES)
+        u, v = rng.random(8), rng.random(8)
+        assert np.allclose(alg.x_matrix(u) @ v, alg.multiply_weights(u, v))
+
+    def test_x_matrix_upper_triangular(self, rng):
+        alg = MarginalsAlgebra(SIZES)
+        X = alg.x_matrix(rng.random(8)).toarray()
+        assert np.allclose(X, np.triu(X))
+
+    def test_ginv_gives_inverse(self, rng):
+        alg = MarginalsAlgebra(SIZES)
+        u = rng.random(8) + 0.1
+        v = alg.ginv_weights(u)
+        Gu = MarginalsGram(SIZES, u).dense()
+        Gv = MarginalsGram(SIZES, v).dense()
+        assert np.allclose(Gu @ Gv, np.eye(24), atol=1e-8)
+
+    def test_ginv_requires_full_weight(self):
+        alg = MarginalsAlgebra(SIZES)
+        u = np.ones(8)
+        u[-1] = 0.0
+        with pytest.raises(ValueError):
+            alg.ginv_weights(u)
+
+    def test_adjoint_solve(self, rng):
+        alg = MarginalsAlgebra(SIZES)
+        u = rng.random(8) + 0.1
+        delta = rng.random(8)
+        phi = alg.adjoint_solve(u, delta)
+        assert np.allclose(alg.x_matrix(u).T @ phi, delta, atol=1e-10)
+
+    def test_dimension_cap(self):
+        with pytest.raises(ValueError):
+            MarginalsAlgebra([2] * 17)
+
+
+class TestMarginalsGram:
+    def test_matvec_matches_dense(self, rng):
+        v = rng.random(8)
+        G = MarginalsGram(SIZES, v)
+        x = rng.standard_normal(24)
+        assert np.allclose(G.matvec(x), G.dense() @ x)
+
+    def test_symmetric(self, rng):
+        G = MarginalsGram(SIZES, rng.random(8))
+        D = G.dense()
+        assert np.allclose(D, D.T)
+        x = rng.standard_normal(24)
+        assert np.allclose(G.rmatvec(x), G.matvec(x))
+
+    def test_trace(self, rng):
+        v = rng.random(8)
+        G = MarginalsGram(SIZES, v)
+        assert np.isclose(G.trace(), np.trace(G.dense()))
+
+    def test_weight_shape_check(self):
+        with pytest.raises(ValueError):
+            MarginalsGram(SIZES, np.ones(5))
+
+
+class TestMarginalsStrategy:
+    def test_stacks_active_marginals(self):
+        theta = np.zeros(8)
+        theta[[2, 7]] = [0.5, 0.5]
+        M = MarginalsStrategy(SIZES, theta)
+        # marginal 2 = keep 'b' (3 rows), marginal 7 = full table (24 rows)
+        assert M.shape == (3 + 24, 24)
+
+    def test_sensitivity_is_theta_sum(self):
+        theta = np.zeros(8)
+        theta[[1, 3, 7]] = [0.25, 0.5, 0.25]
+        assert np.isclose(MarginalsStrategy(SIZES, theta).sensitivity(), 1.0)
+
+    def test_gram_weights_are_theta_squared(self, rng):
+        theta = rng.random(8)
+        M = MarginalsStrategy(SIZES, theta)
+        D = M.dense()
+        assert np.allclose(M.gram().dense(), D.T @ D)
+
+    def test_pinv_invertible_case(self, rng):
+        theta = rng.random(8) + 0.05
+        M = MarginalsStrategy(SIZES, theta)
+        y = rng.standard_normal(M.shape[0])
+        assert np.allclose(
+            M.pinv().matvec(y), np.linalg.pinv(M.dense()) @ y, atol=1e-8
+        )
+
+    def test_pinv_singular_case_least_squares(self, rng):
+        """Without the full table the Gram is singular; the generalized
+        inverse must still produce a least-squares solution (same residual
+        as the Moore-Penrose solution, same answers on supported queries)."""
+        theta = np.zeros(8)
+        theta[[1, 2, 4]] = 1.0  # three 1-way marginals, no full table
+        M = MarginalsStrategy(SIZES, theta)
+        D = M.dense()
+        y = rng.standard_normal(M.shape[0])
+        x_ginv = M.pinv().matvec(y)
+        x_mp = np.linalg.pinv(D) @ y
+        assert np.isclose(
+            np.linalg.norm(D @ x_ginv - y), np.linalg.norm(D @ x_mp - y), atol=1e-6
+        )
+        # Any supported query (a measured marginal row) gets the same answer.
+        assert np.allclose(D @ x_ginv, D @ x_mp, atol=1e-6)
+
+    def test_rejects_negative_weights(self):
+        theta = np.zeros(8)
+        theta[0] = -1.0
+        theta[-1] = 1.0
+        with pytest.raises(ValueError):
+            MarginalsStrategy(SIZES, theta)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            MarginalsStrategy(SIZES, np.zeros(8))

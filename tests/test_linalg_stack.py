@@ -1,0 +1,104 @@
+"""Tests for VStack, Weighted and Sum."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import Dense, Identity, Ones, Sum, VStack, Weighted
+
+
+class TestWeighted:
+    def test_matvec(self, rng):
+        A = rng.standard_normal((3, 4))
+        W = Weighted(Dense(A), 2.0)
+        x = rng.standard_normal(4)
+        assert np.allclose(W.matvec(x), 2.0 * A @ x)
+
+    def test_gram_squares_weight(self, rng):
+        A = rng.standard_normal((3, 4))
+        W = Weighted(Dense(A), 3.0)
+        assert np.allclose(W.gram().dense(), 9.0 * A.T @ A)
+
+    def test_sensitivity_scales(self):
+        W = Weighted(Identity(4), -2.0)
+        assert W.sensitivity() == 2.0
+
+    def test_pinv_inverts_weight(self, rng):
+        A = rng.standard_normal((4, 3))
+        W = Weighted(Dense(A), 2.0)
+        assert np.allclose(W.pinv().dense(), np.linalg.pinv(2.0 * A))
+
+    def test_trace_sum_transpose(self, rng):
+        A = rng.standard_normal((3, 3))
+        W = Weighted(Dense(A), 2.0)
+        assert np.isclose(W.trace(), 2 * np.trace(A))
+        assert np.isclose(W.sum(), 2 * A.sum())
+        assert np.allclose(W.T.dense(), 2 * A.T)
+
+
+class TestVStack:
+    def test_matvec_concatenates(self, rng):
+        A = rng.standard_normal((2, 4))
+        B = rng.standard_normal((3, 4))
+        S = VStack([Dense(A), Dense(B)])
+        x = rng.standard_normal(4)
+        assert np.allclose(S.matvec(x), np.concatenate([A @ x, B @ x]))
+
+    def test_rmatvec_sums(self, rng):
+        A = rng.standard_normal((2, 4))
+        B = rng.standard_normal((3, 4))
+        S = VStack([Dense(A), Dense(B)])
+        y = rng.standard_normal(5)
+        assert np.allclose(S.rmatvec(y), A.T @ y[:2] + B.T @ y[2:])
+
+    def test_gram_is_sum_of_grams(self, rng):
+        A = rng.standard_normal((2, 4))
+        B = rng.standard_normal((3, 4))
+        S = VStack([Dense(A), Dense(B)])
+        assert np.allclose(S.gram().dense(), A.T @ A + B.T @ B)
+
+    def test_sensitivity_adds_column_sums(self):
+        S = VStack([Identity(3), Ones(1, 3)])
+        assert S.sensitivity() == 2.0
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            VStack([Identity(3), Identity(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VStack([])
+
+    def test_dense_stacks(self, rng):
+        A = rng.standard_normal((2, 4))
+        B = rng.standard_normal((3, 4))
+        assert np.allclose(
+            VStack([Dense(A), Dense(B)]).dense(), np.vstack([A, B])
+        )
+
+    def test_transpose_matvec(self, rng):
+        A = rng.standard_normal((2, 4))
+        B = rng.standard_normal((3, 4))
+        S = VStack([Dense(A), Dense(B)])
+        y = rng.standard_normal(5)
+        assert np.allclose(S.T.matvec(y), np.vstack([A, B]).T @ y)
+
+
+class TestSum:
+    def test_matvec(self, rng):
+        A = rng.standard_normal((3, 4))
+        B = rng.standard_normal((3, 4))
+        S = Sum([Dense(A), Dense(B)])
+        x = rng.standard_normal(4)
+        assert np.allclose(S.matvec(x), (A + B) @ x)
+
+    def test_dense_trace_sum(self, rng):
+        A = rng.standard_normal((3, 3))
+        B = rng.standard_normal((3, 3))
+        S = Sum([Dense(A), Dense(B)])
+        assert np.allclose(S.dense(), A + B)
+        assert np.isclose(S.trace(), np.trace(A + B))
+        assert np.isclose(S.sum(), (A + B).sum())
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Sum([Dense(rng.standard_normal((2, 3))), Dense(rng.standard_normal((3, 2)))])

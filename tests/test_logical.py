@@ -1,0 +1,135 @@
+"""Tests for logical workloads and ImpVec (Sections 3.3, 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.domain import Domain
+from repro.linalg import Kronecker, VStack, Weighted
+from repro.workload import (
+    LogicalWorkload,
+    Product,
+    as_union_of_products,
+    implicit_vectorize,
+    total_on,
+    union_kron,
+    workload_answers,
+)
+from repro.workload.predicates import (
+    Equals,
+    Range,
+    identity_predicates,
+    prefix_predicates,
+)
+
+
+@pytest.fixture
+def dom():
+    return Domain(["a", "b"], [3, 4])
+
+
+class TestProduct:
+    def test_unmentioned_attributes_get_total(self, dom):
+        p = Product(dom, {"a": identity_predicates(3)})
+        assert len(p.predicate_sets["b"]) == 1
+        assert p.num_queries() == 3
+
+    def test_num_queries_multiplies(self, dom):
+        p = Product(
+            dom, {"a": identity_predicates(3), "b": prefix_predicates(4)}
+        )
+        assert p.num_queries() == 12
+
+    def test_unknown_attribute_rejected(self, dom):
+        with pytest.raises(KeyError):
+            Product(dom, {"z": [Equals(0)]})
+
+    def test_empty_predicate_set_rejected(self, dom):
+        with pytest.raises(ValueError):
+            Product(dom, {"a": []})
+
+    def test_vectorize_theorem2(self, dom):
+        """vec(Φ x Ψ) = vec(Φ) ⊗ vec(Ψ)."""
+        p = Product(dom, {"a": [Equals(1)], "b": [Range(0, 2)]})
+        K = p.vectorize()
+        expected = np.kron([[0, 1, 0]], [[1, 1, 1, 0]])
+        assert np.allclose(K.dense(), expected)
+
+
+class TestLogicalWorkload:
+    def test_requires_products(self):
+        with pytest.raises(ValueError):
+            LogicalWorkload([])
+
+    def test_mixed_domains_rejected(self, dom):
+        other = Domain(["a", "b"], [3, 5])
+        with pytest.raises(ValueError):
+            LogicalWorkload([Product(dom, {}), Product(other, {})])
+
+    def test_weights_validated(self, dom):
+        with pytest.raises(ValueError):
+            LogicalWorkload([Product(dom, {})], [0.0])
+        with pytest.raises(ValueError):
+            LogicalWorkload([Product(dom, {})], [1.0, 2.0])
+
+    def test_union(self, dom):
+        w1 = LogicalWorkload([Product(dom, {})])
+        w2 = LogicalWorkload([Product(dom, {"a": identity_predicates(3)})], [2.0])
+        u = w1.union(w2)
+        assert len(u) == 2
+        assert u.weights == [1.0, 2.0]
+
+    def test_num_queries(self, dom):
+        wl = LogicalWorkload(
+            [Product(dom, {}), Product(dom, {"a": identity_predicates(3)})]
+        )
+        assert wl.num_queries() == 1 + 3
+
+
+class TestImpVec:
+    def test_single_product_is_kronecker(self, dom):
+        wl = LogicalWorkload([Product(dom, {"a": identity_predicates(3)})])
+        W = implicit_vectorize(wl)
+        assert isinstance(W, Kronecker)
+
+    def test_weighted_product_wrapped(self, dom):
+        wl = LogicalWorkload([Product(dom, {})], [3.0])
+        W = implicit_vectorize(wl)
+        assert isinstance(W, Weighted)
+        assert W.weight == 3.0
+
+    def test_union_is_vstack(self, dom):
+        wl = LogicalWorkload([Product(dom, {}), Product(dom, {})])
+        assert isinstance(implicit_vectorize(wl), VStack)
+
+    def test_matrix_matches_explicit_evaluation(self, dom, rng):
+        wl = LogicalWorkload(
+            [
+                Product(dom, {"a": identity_predicates(3)}),
+                Product(dom, {"b": prefix_predicates(4)}),
+            ],
+            [1.0, 2.0],
+        )
+        W = implicit_vectorize(wl)
+        x = rng.poisson(10, 12).astype(float)
+        answers = workload_answers(wl, x)
+        X = x.reshape(3, 4)
+        # First product: counts by a-value (3 queries).
+        assert np.allclose(answers[:3], X.sum(axis=1))
+        # Second product: weighted prefix counts over b.
+        assert np.allclose(answers[3:], 2.0 * np.cumsum(X.sum(axis=0)))
+
+
+class TestUnionKron:
+    def test_assembles_weighted_terms(self, rng):
+        from repro.linalg import Identity, Ones
+
+        W = union_kron([(1.0, [Identity(3), Ones(1, 4)]), (2.0, [Ones(1, 3), Identity(4)])])
+        terms = as_union_of_products(W)
+        assert [w for w, _ in terms] == [1.0, 2.0]
+        assert W.shape == (7, 12)
+
+    def test_total_on(self):
+        dom = Domain(["a", "b"], [3, 4])
+        T = total_on(dom)
+        assert T.shape == (1, 12)
+        assert np.allclose(T.dense(), np.ones((1, 12)))

@@ -1,0 +1,112 @@
+"""Tests for the MEASURE and RECONSTRUCT stages (Section 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import laplace_measure, laplace_noise, measurement_variance
+from repro.core.reconstruct import answer_workload, least_squares
+from repro.linalg import (
+    Dense,
+    Identity,
+    Kronecker,
+    MarginalsStrategy,
+    Prefix,
+    VStack,
+    Weighted,
+)
+from repro.optimize import PIdentity
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_zero(self):
+        assert np.all(laplace_noise(0.0, 5) == 0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0, 5)
+
+    def test_variance_statistics(self, rng):
+        samples = laplace_noise(2.0, 200_000, rng)
+        # Laplace(b) variance = 2b².
+        assert abs(samples.var() - 8.0) / 8.0 < 0.05
+        assert abs(samples.mean()) < 0.05
+
+    def test_reproducible_with_seed(self):
+        a = laplace_noise(1.0, 10, 42)
+        b = laplace_noise(1.0, 10, 42)
+        assert np.allclose(a, b)
+
+
+class TestLaplaceMeasure:
+    def test_noise_scaled_to_sensitivity(self, rng):
+        A = Prefix(16)  # sensitivity 16
+        x = np.zeros(16)
+        trials = np.stack(
+            [laplace_measure(A, x, eps=1.0, rng=s) for s in range(400)]
+        )
+        emp_var = trials.var()
+        assert abs(emp_var - measurement_variance(A, 1.0)) / emp_var < 0.15
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            laplace_measure(Identity(4), np.zeros(4), eps=0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            laplace_measure(Identity(4), np.zeros(5), eps=1.0)
+
+    def test_exact_at_huge_eps(self):
+        A = Prefix(8)
+        x = np.arange(8.0)
+        y = laplace_measure(A, x, eps=1e12, rng=0)
+        assert np.allclose(y, A.matvec(x), atol=1e-6)
+
+
+class TestLeastSquares:
+    def test_pidentity_roundtrip(self, rng):
+        A = PIdentity(rng.random((3, 8)))
+        x = rng.standard_normal(8)
+        y = A.matvec(x)
+        assert np.allclose(least_squares(A, y), x, atol=1e-8)
+
+    def test_kron_roundtrip(self, rng):
+        A = Kronecker([PIdentity(rng.random((2, 5))), PIdentity(rng.random((2, 4)))])
+        x = rng.standard_normal(20)
+        assert np.allclose(least_squares(A, A.matvec(x)), x, atol=1e-8)
+
+    def test_marginals_roundtrip(self, rng):
+        theta = rng.random(8) + 0.05
+        A = MarginalsStrategy((3, 2, 4), theta)
+        x = rng.standard_normal(24)
+        assert np.allclose(least_squares(A, A.matvec(x)), x, atol=1e-7)
+
+    def test_lsmr_on_union_strategy(self, rng):
+        A = VStack(
+            [
+                Weighted(Kronecker([Identity(4), Identity(5)]), 0.5),
+                Weighted(Kronecker([Prefix(4), Identity(5)]), 0.125),
+            ]
+        )
+        x = rng.standard_normal(20)
+        got = least_squares(A, A.matvec(x), method="lsmr")
+        assert np.allclose(got, x, atol=1e-6)
+
+    def test_noisy_least_squares_matches_numpy(self, rng):
+        A = PIdentity(rng.random((3, 6)))
+        y = rng.standard_normal(9)
+        ours = least_squares(A, y)
+        ref, *_ = np.linalg.lstsq(A.dense(), y, rcond=None)
+        assert np.allclose(ours, ref, atol=1e-8)
+
+    def test_method_validation(self, rng):
+        with pytest.raises(ValueError):
+            least_squares(Identity(4), np.zeros(4), method="bogus")
+
+    def test_y_shape_validation(self):
+        with pytest.raises(ValueError):
+            least_squares(Identity(4), np.zeros(5))
+
+    def test_answer_workload(self, rng):
+        W = Prefix(6)
+        x = rng.standard_normal(6)
+        assert np.allclose(answer_workload(W, x), np.cumsum(x))

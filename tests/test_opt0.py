@@ -1,0 +1,151 @@
+"""Tests for OPT_0 and p-Identity strategies (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import AllRange, Prefix
+from repro.optimize import PIdentity, opt_0, pidentity_loss_and_grad
+
+
+class TestPIdentity:
+    def test_shape(self):
+        A = PIdentity(np.ones((3, 8)))
+        assert A.shape == (11, 8)
+
+    def test_sensitivity_exactly_one(self, rng):
+        A = PIdentity(rng.random((4, 10)))
+        D = A.dense()
+        assert np.allclose(np.abs(D).sum(axis=0), 1.0)
+        assert A.sensitivity() == 1.0
+
+    def test_example8_structure(self):
+        """Paper Example 8: p=2, N=3 illustration of A(Θ)."""
+        theta = np.array([[1.0, 2.0, 3.0], [1.0, 1.0, 1.0]])
+        A = PIdentity(theta).dense()
+        expected = np.array(
+            [
+                [1 / 3, 0, 0],
+                [0, 0.25, 0],
+                [0, 0, 0.2],
+                [1 / 3, 0.5, 0.6],
+                [1 / 3, 0.25, 0.2],
+            ]
+        )
+        assert np.allclose(A, expected)
+
+    def test_matvec_rmatvec(self, rng):
+        A = PIdentity(rng.random((3, 6)))
+        D = A.dense()
+        x = rng.standard_normal(6)
+        y = rng.standard_normal(9)
+        assert np.allclose(A.matvec(x), D @ x)
+        assert np.allclose(A.rmatvec(y), D.T @ y)
+
+    def test_gram_and_inverse(self, rng):
+        A = PIdentity(rng.random((3, 6)))
+        D = A.dense()
+        assert np.allclose(A.gram().dense(), D.T @ D)
+        assert np.allclose(A.gram_inverse(), np.linalg.inv(D.T @ D))
+
+    def test_pinv(self, rng):
+        A = PIdentity(rng.random((3, 6)))
+        y = rng.standard_normal(9)
+        assert np.allclose(A.pinv().matvec(y), np.linalg.pinv(A.dense()) @ y)
+
+    def test_supports_any_workload(self, rng):
+        """A(Θ) contains a scaled identity, so WA⁺A = W for any W."""
+        A = PIdentity(rng.random((2, 5)))
+        D = A.dense()
+        W = rng.standard_normal((7, 5))
+        assert np.allclose(W @ np.linalg.pinv(D) @ D, W)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            PIdentity(np.array([[-1.0, 0.0]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            PIdentity(np.ones(4))
+
+
+class TestLossAndGrad:
+    def test_loss_matches_direct(self, rng):
+        B = rng.random((3, 8)) + 0.1
+        V = AllRange(8).gram().dense()
+        loss, _ = pidentity_loss_and_grad(B, V)
+        D = PIdentity(B).dense()
+        assert np.isclose(loss, np.trace(np.linalg.inv(D.T @ D) @ V))
+
+    @pytest.mark.parametrize("p,n", [(1, 5), (3, 8), (6, 6)])
+    def test_gradient_matches_finite_differences(self, p, n, rng):
+        B = rng.random((p, n)) + 0.1
+        V = Prefix(n).gram().dense()
+        _, grad = pidentity_loss_and_grad(B, V)
+        h = 1e-6
+        for _ in range(5):
+            k, l = rng.integers(p), rng.integers(n)
+            Bp, Bm = B.copy(), B.copy()
+            Bp[k, l] += h
+            Bm[k, l] -= h
+            fd = (
+                pidentity_loss_and_grad(Bp, V)[0]
+                - pidentity_loss_and_grad(Bm, V)[0]
+            ) / (2 * h)
+            assert np.isclose(grad[k, l], fd, rtol=1e-4)
+
+    def test_nonfinite_parameters_safe(self):
+        V = np.eye(4)
+        loss, grad = pidentity_loss_and_grad(np.full((2, 4), np.inf), V)
+        assert loss == np.inf
+        assert np.all(grad == 0)
+
+    def test_huge_parameters_safe(self):
+        V = np.eye(4)
+        loss, _ = pidentity_loss_and_grad(np.full((2, 4), 1e40), V)
+        assert loss == np.inf
+
+
+class TestOpt0:
+    def test_beats_identity_on_ranges(self):
+        n = 64
+        V = AllRange(n).gram().dense()
+        res = opt_0(V, p=4, rng=0, restarts=2)
+        assert res.loss < np.trace(V)  # better than Identity
+
+    def test_accepts_matrix_gram(self):
+        res = opt_0(AllRange(32).gram(), p=2, rng=0)
+        assert res.loss > 0
+
+    def test_default_p_heuristic(self):
+        res = opt_0(AllRange(32).gram().dense(), rng=0)
+        assert res.strategy.p == 2  # 32 // 16
+
+    def test_explicit_init_used(self):
+        V = Prefix(16).gram().dense()
+        init = np.ones((1, 16))
+        res = opt_0(V, p=1, rng=0, init=init)
+        assert res.loss > 0
+
+    def test_init_shape_validated(self):
+        with pytest.raises(ValueError):
+            opt_0(np.eye(8), p=2, init=np.ones((3, 8)))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            opt_0(np.ones((3, 4)))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            opt_0(np.eye(4), p=0)
+
+    def test_restarts_never_hurt(self):
+        V = AllRange(32).gram().dense()
+        one = opt_0(V, p=2, rng=0, restarts=1).loss
+        many = opt_0(V, p=2, rng=0, restarts=4).loss
+        assert many <= one * (1 + 1e-9)
+
+    def test_identity_workload_keeps_identity(self):
+        """For W = I the optimal strategy is (essentially) the identity."""
+        n = 16
+        res = opt_0(np.eye(n), p=1, rng=0)
+        assert res.loss <= n * (1 + 0.05)  # identity loss = n

@@ -1,0 +1,108 @@
+"""Tests for OPT_general (MM stand-in) and the OPT_HDMM driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.error import squared_error
+from repro.domain import Domain
+from repro.linalg import AllRange, MarginalsStrategy, Prefix
+from repro.optimize import (
+    general_loss_and_grad,
+    identity_result,
+    opt_0,
+    opt_general,
+    opt_hdmm,
+)
+from repro.workload import (
+    k_way_marginals,
+    prefix_1d,
+    prefix_identity,
+    range_total_union,
+)
+
+
+class TestGeneralLossAndGrad:
+    def test_loss_matches_direct(self, rng):
+        B = rng.random((6, 4)) + 0.1
+        V = Prefix(4).gram().dense()
+        loss, _ = general_loss_and_grad(B, V)
+        A = B / B.sum(axis=0)
+        assert np.isclose(loss, np.trace(np.linalg.inv(A.T @ A) @ V))
+
+    def test_gradient_finite_differences(self, rng):
+        B = rng.random((5, 4)) + 0.1
+        V = AllRange(4).gram().dense()
+        _, grad = general_loss_and_grad(B, V)
+        h = 1e-7
+        for _ in range(5):
+            k, l = rng.integers(5), rng.integers(4)
+            Bp, Bm = B.copy(), B.copy()
+            Bp[k, l] += h
+            Bm[k, l] -= h
+            fd = (
+                general_loss_and_grad(Bp, V)[0] - general_loss_and_grad(Bm, V)[0]
+            ) / (2 * h)
+            assert np.isclose(grad[k, l], fd, rtol=1e-3)
+
+    def test_zero_column_safe(self):
+        B = np.zeros((3, 2))
+        loss, _ = general_loss_and_grad(B, np.eye(2))
+        assert loss == np.inf
+
+
+class TestOptGeneral:
+    def test_unrestricted_at_least_as_good_as_p_identity(self):
+        """The full space contains all p-Identity strategies."""
+        V = AllRange(16).gram().dense()
+        general = opt_general(V, rng=0, restarts=3, maxiter=2000).loss
+        pid = opt_0(V, p=1, rng=0, restarts=3).loss
+        assert general <= pid * 1.10  # allow local-minimum slack
+
+    def test_sensitivity_normalized(self):
+        V = Prefix(8).gram().dense()
+        res = opt_general(V, rng=0)
+        A = res.strategy.dense()
+        assert np.allclose(np.abs(A).sum(axis=0), 1.0)
+
+    def test_p_below_n_rejected(self):
+        with pytest.raises(ValueError):
+            opt_general(np.eye(8), p=4)
+
+
+class TestDriver:
+    def test_identity_result_loss(self):
+        W = prefix_1d(16)
+        res = identity_result(W)
+        assert np.isclose(res.loss, np.trace(W.gram().dense()))
+
+    def test_never_worse_than_identity(self):
+        for W in [prefix_1d(32), prefix_identity(8), range_total_union(8)]:
+            best = opt_hdmm(W, restarts=1, rng=0)
+            assert best.loss <= identity_result(W).loss * (1 + 1e-9)
+
+    def test_loss_matches_reported_strategy(self):
+        W = prefix_identity(8)
+        best = opt_hdmm(W, restarts=2, rng=0)
+        assert np.isclose(best.loss, squared_error(W, best.strategy), rtol=1e-6)
+
+    def test_marginals_workload_selects_marginals_strategy(self):
+        dom = Domain(["a", "b", "c", "d"], [5, 5, 5, 5])
+        W = k_way_marginals(dom, 1)
+        best = opt_hdmm(W, restarts=2, rng=0)
+        assert isinstance(best.strategy, MarginalsStrategy)
+
+    def test_custom_operator_set(self):
+        from repro.optimize import OptResult, opt_kron
+
+        calls = []
+
+        def op(w, rng):
+            calls.append(1)
+            return opt_kron(w, rng=rng)
+
+        opt_hdmm(prefix_1d(16), restarts=3, rng=0, operators=[("custom", op)])
+        assert len(calls) == 3
+
+    def test_restart_count_reported(self):
+        res = opt_hdmm(prefix_1d(16), restarts=2, rng=0)
+        assert res.restarts == 2

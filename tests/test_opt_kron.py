@@ -1,0 +1,101 @@
+"""Tests for OPT_⊗ (Sections 6.1-6.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.error import squared_error
+from repro.linalg import AllRange, Identity, Kronecker, Ones, Prefix
+from repro.optimize import opt_0, opt_kron
+from repro.optimize.opt_kron import default_p
+from repro.workload import (
+    all_range_2d,
+    k_way_marginals,
+    prefix_2d,
+    prefix_identity,
+    range_total_union,
+)
+from repro.domain import Domain
+
+
+class TestDefaultP:
+    def test_identity_gram_gets_p1(self):
+        G = Identity(32).gram().dense()
+        assert default_p([G], 32) == 1
+
+    def test_total_gram_gets_p1(self):
+        G = Ones(1, 32).gram().dense()
+        assert default_p([G], 32) == 1
+
+    def test_mixed_identity_total_gets_p1(self):
+        """Grams of predicate sets within T ∪ I are aI + b1 — still p=1."""
+        G = Identity(32).gram().dense() + Ones(1, 32).gram().dense()
+        assert default_p([G], 32) == 1
+
+    def test_range_gram_gets_n_over_16(self):
+        G = AllRange(64).gram().dense()
+        assert default_p([G], 64) == 4
+
+
+class TestSingleProduct:
+    def test_error_decomposition_theorem5(self):
+        """‖(W1⊗W2)(A1⊗A2)⁺‖² = ‖W1A1⁺‖²·‖W2A2⁺‖²."""
+        W = prefix_2d(8)
+        res = opt_kron(W, rng=0)
+        direct = squared_error(W, res.strategy)
+        assert np.isclose(res.loss, direct, rtol=1e-6)
+
+    def test_matches_independent_opt0(self):
+        """For a single product the solution decomposes per attribute."""
+        W = prefix_2d(8)
+        res = opt_kron(W, ps=[1, 1], rng=0)
+        r1 = opt_0(Prefix(8).gram().dense(), p=1, rng=0)
+        # Same search problem per factor → product of losses is comparable.
+        assert res.loss <= (r1.loss * 1.1) ** 2
+
+    def test_strategy_is_sensitivity_one_kron(self):
+        res = opt_kron(all_range_2d(8), rng=0)
+        assert isinstance(res.strategy, Kronecker)
+        assert np.isclose(res.strategy.sensitivity(), 1.0)
+
+    def test_beats_identity(self):
+        # At 64 cells per attribute (p=4) the p-Identity space contains
+        # strategies clearly better than Identity (at n=16 it does not).
+        W = all_range_2d(64)
+        res = opt_kron(W, ps=[4, 4], rng=0)
+        ident = Kronecker([Identity(64), Identity(64)])
+        assert res.loss < squared_error(W, ident)
+
+
+class TestUnionOfProducts:
+    def test_loss_matches_theorem6(self):
+        W = prefix_identity(8)
+        res = opt_kron(W, rng=0)
+        assert np.isclose(res.loss, squared_error(W, res.strategy), rtol=1e-6)
+
+    def test_never_worse_than_identity(self):
+        for W in [prefix_identity(8), range_total_union(8)]:
+            res = opt_kron(W, rng=0)
+            ident = Kronecker([Identity(8), Identity(8)])
+            assert res.loss <= squared_error(W, ident) * (1 + 1e-6)
+
+    def test_marginals_workload(self):
+        dom = Domain(["a", "b", "c"], [4, 4, 4])
+        W = k_way_marginals(dom, 2)
+        res = opt_kron(W, rng=0)
+        assert np.isclose(res.loss, squared_error(W, res.strategy), rtol=1e-6)
+
+    def test_ps_length_validated(self):
+        with pytest.raises(ValueError):
+            opt_kron(prefix_2d(8), ps=[1, 1, 1])
+
+    def test_weighted_union_respected(self, rng):
+        """Heavier products must dominate the objective."""
+        from repro.workload import weighted_union
+
+        W_light = weighted_union([prefix_2d(8), all_range_2d(8)], [1.0, 1.0])
+        W_heavy = weighted_union([prefix_2d(8), all_range_2d(8)], [1.0, 100.0])
+        light = opt_kron(W_light, rng=0).loss
+        heavy = opt_kron(W_heavy, rng=0).loss
+        assert heavy > light * 100  # weights enter squared

@@ -1,0 +1,103 @@
+"""Tests for OPT_M (Section 6.3, Problem 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.error import squared_error, workload_marginal_traces
+from repro.domain import Domain
+from repro.linalg import MarginalsAlgebra, MarginalsStrategy
+from repro.optimize import marginals_loss_and_grad, opt_kron, opt_marginals
+from repro.workload import (
+    all_marginals,
+    k_way_marginals,
+    prefix_identity,
+    up_to_k_marginals,
+)
+
+
+@pytest.fixture
+def dom():
+    return Domain(["a", "b", "c"], [3, 4, 2])
+
+
+class TestLossAndGrad:
+    def test_loss_matches_dense(self, dom, rng):
+        W = up_to_k_marginals(dom, 2)
+        alg = MarginalsAlgebra(dom.sizes)
+        delta = workload_marginal_traces(W)
+        theta = rng.random(8) + 0.05
+        loss, _ = marginals_loss_and_grad(theta, alg, delta)
+        M = MarginalsStrategy(dom.sizes, theta)
+        D = M.dense()
+        Wd = W.dense()
+        direct = (
+            np.abs(D).sum(axis=0).max() ** 2
+            * np.linalg.norm(Wd @ np.linalg.pinv(D), "fro") ** 2
+        )
+        assert np.isclose(loss, direct, rtol=1e-6)
+
+    def test_gradient_matches_finite_differences(self, dom, rng):
+        W = up_to_k_marginals(dom, 2)
+        alg = MarginalsAlgebra(dom.sizes)
+        delta = workload_marginal_traces(W)
+        theta = rng.random(8) + 0.05
+        _, grad = marginals_loss_and_grad(theta, alg, delta)
+        h = 1e-6
+        for a in range(8):
+            tp, tm = theta.copy(), theta.copy()
+            tp[a] += h
+            tm[a] -= h
+            fd = (
+                marginals_loss_and_grad(tp, alg, delta)[0]
+                - marginals_loss_and_grad(tm, alg, delta)[0]
+            ) / (2 * h)
+            assert np.isclose(grad[a], fd, rtol=1e-4), a
+
+    def test_scale_invariance(self, dom, rng):
+        """f(cθ) = f(θ): the sensitivity factor cancels the noise scale."""
+        W = up_to_k_marginals(dom, 2)
+        alg = MarginalsAlgebra(dom.sizes)
+        delta = workload_marginal_traces(W)
+        theta = rng.random(8) + 0.05
+        l1, _ = marginals_loss_and_grad(theta, alg, delta)
+        l2, _ = marginals_loss_and_grad(3.0 * theta, alg, delta)
+        assert np.isclose(l1, l2, rtol=1e-9)
+
+
+class TestOptMarginals:
+    def test_loss_consistent_with_error(self, dom):
+        W = up_to_k_marginals(dom, 2)
+        res = opt_marginals(W, rng=0)
+        assert np.isclose(res.loss, squared_error(W, res.strategy), rtol=1e-4)
+
+    def test_strategy_normalized(self, dom):
+        res = opt_marginals(all_marginals(dom), rng=0)
+        assert np.isclose(res.strategy.sensitivity(), 1.0)
+
+    def test_beats_identity_on_low_order_marginals(self):
+        """For 1-way marginals, measuring marginals directly crushes the
+        full identity (which pays the whole domain's noise per cell)."""
+        dom = Domain(["a", "b", "c", "d"], [6, 6, 6, 6])
+        W = up_to_k_marginals(dom, 1)
+        res = opt_marginals(W, rng=0)
+        from repro.optimize.driver import identity_result
+
+        assert res.loss < identity_result(W).loss / 4
+
+    def test_beats_or_matches_kron_on_marginal_workloads(self):
+        dom = Domain(["a", "b", "c"], [5, 5, 5])
+        W = k_way_marginals(dom, 2)
+        marg = opt_marginals(W, rng=0).loss
+        kron = opt_kron(W, rng=0).loss
+        assert marg <= kron * 1.05
+
+    def test_applicable_to_non_marginal_workloads(self):
+        """OPT_M accepts any union of products (Section 6.3)."""
+        res = opt_marginals(prefix_identity(6), rng=0)
+        assert res.loss > 0
+
+    def test_full_table_workload_picks_full_marginal(self, dom):
+        W = k_way_marginals(dom, 3)  # the full contingency table
+        res = opt_marginals(W, rng=0)
+        theta = res.strategy.theta
+        assert theta[-1] > 0.5  # essentially all weight on the full table

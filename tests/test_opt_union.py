@@ -1,0 +1,62 @@
+"""Tests for OPT_+ (Definition 11)."""
+
+import numpy as np
+
+from repro.core.error import squared_error
+from repro.linalg import VStack, Weighted
+from repro.optimize import opt_kron, opt_union, partition_products
+from repro.workload import (
+    as_union_of_products,
+    prefix_identity,
+    range_total_union,
+    union_kron,
+)
+
+
+class TestPartition:
+    def test_groups_by_signature(self):
+        W = range_total_union(8)  # (R x T) ∪ (T x R): two signatures
+        parts = partition_products(W, groups=2)
+        assert len(parts) == 2
+        for part in parts:
+            assert len(as_union_of_products(part)) == 1
+
+    def test_single_signature_one_group(self):
+        from repro.workload import prefix_2d
+
+        parts = partition_products(prefix_2d(8), groups=2)
+        assert len(parts) == 1
+
+    def test_explicit_group_list_accepted(self):
+        W = range_total_union(8)
+        parts = partition_products(W, groups=2)
+        res = opt_union(parts, rng=0)
+        assert len(res.strategy.blocks) == 2
+
+
+class TestOptUnion:
+    def test_strategy_is_sensitivity_one_stack(self):
+        res = opt_union(range_total_union(8), rng=0)
+        assert isinstance(res.strategy, VStack)
+        assert np.isclose(res.strategy.sensitivity(), 1.0)
+
+    def test_blocks_are_weighted_products(self):
+        res = opt_union(range_total_union(8), rng=0)
+        for block in res.strategy.blocks:
+            assert isinstance(block, Weighted)
+
+    def test_beats_single_product_on_rt_union(self):
+        """The motivating case of Section 6.2: (R x T) ∪ (T x R)."""
+        W = range_total_union(16)
+        union = opt_union(W, rng=0).loss
+        single = opt_kron(W, rng=0).loss
+        assert union < single
+
+    def test_loss_matches_budget_split_estimate(self):
+        W = range_total_union(8)
+        res = opt_union(W, rng=0)
+        assert np.isclose(res.loss, squared_error(W, res.strategy), rtol=1e-6)
+
+    def test_prefix_identity_union(self):
+        res = opt_union(prefix_identity(8), rng=0)
+        assert res.loss > 0

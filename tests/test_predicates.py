@@ -1,0 +1,88 @@
+"""Tests for the predicate language and vectorization (Definition 4)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import Dense, Identity, Ones, Prefix
+from repro.workload.predicates import (
+    Equals,
+    InSet,
+    Lambda,
+    Range,
+    TruePredicate,
+    all_range_predicates,
+    identity_predicates,
+    prefix_predicates,
+    total_predicates,
+    vectorize,
+    vectorize_set,
+)
+
+
+class TestPredicates:
+    def test_true_matches_everything(self):
+        assert np.allclose(TruePredicate().mask(4), np.ones(4))
+
+    def test_equals(self):
+        assert np.allclose(Equals(2).mask(4), [0, 0, 1, 0])
+
+    def test_equals_out_of_domain(self):
+        with pytest.raises(ValueError):
+            Equals(5).mask(4)
+
+    def test_inset(self):
+        assert np.allclose(InSet([0, 3]).mask(4), [1, 0, 0, 1])
+
+    def test_inset_deduplicates(self):
+        assert InSet([1, 1, 2]).values == [1, 2]
+
+    def test_range_inclusive(self):
+        assert np.allclose(Range(1, 2).mask(4), [0, 1, 1, 0])
+
+    def test_range_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Range(3, 1)
+
+    def test_range_out_of_domain(self):
+        with pytest.raises(ValueError):
+            Range(1, 5).mask(4)
+
+    def test_lambda(self):
+        even = Lambda(lambda v: v % 2 == 0, "even")
+        assert np.allclose(even.mask(5), [1, 0, 1, 0, 1])
+
+    def test_callable_protocol(self):
+        assert Equals(1)(1, 4)
+        assert not Equals(1)(2, 4)
+
+
+class TestVectorize:
+    def test_vectorize_returns_indicator(self):
+        assert np.allclose(vectorize(Range(0, 1), 3), [1, 1, 0])
+
+    def test_vectorize_set_recognizes_identity(self):
+        M = vectorize_set(identity_predicates(5), 5)
+        assert isinstance(M, Identity)
+
+    def test_vectorize_set_recognizes_total(self):
+        M = vectorize_set(total_predicates(), 5)
+        assert isinstance(M, Ones)
+        assert M.shape == (1, 5)
+
+    def test_vectorize_set_recognizes_prefix(self):
+        M = vectorize_set(prefix_predicates(5), 5)
+        assert isinstance(M, Prefix)
+
+    def test_vectorize_set_dense_fallback(self):
+        M = vectorize_set([Equals(0), Range(1, 2)], 4)
+        assert isinstance(M, Dense)
+        assert np.allclose(M.dense(), [[1, 0, 0, 0], [0, 1, 1, 0]])
+
+    def test_all_range_predicates_count(self):
+        assert len(all_range_predicates(5)) == 15
+
+    def test_all_range_matches_matrix(self):
+        from repro.linalg import AllRange
+
+        M = vectorize_set(all_range_predicates(4), 4)
+        assert np.allclose(M.dense(), AllRange(4).dense())

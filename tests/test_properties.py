@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core algebraic invariants.
+
+These pin down the identities HDMM's correctness rests on: Kronecker
+mat-vec/Gram/pinv/sensitivity identities (Section 4.4, Theorem 3), the
+marginals algebra closure (Propositions 3-4), the p-Identity construction
+(Definition 9), and the analytic gradients.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg import (
+    Dense,
+    Kronecker,
+    MarginalsAlgebra,
+    MarginalsGram,
+    VStack,
+    Weighted,
+)
+from repro.optimize import PIdentity, pidentity_loss_and_grad
+
+settings.register_profile("repro", deadline=None, max_examples=25)
+settings.load_profile("repro")
+
+
+def small_matrix(max_rows=4, max_cols=4):
+    shapes = st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols)
+    )
+    return shapes.flatmap(
+        lambda s: arrays(
+            np.float64,
+            s,
+            elements=st.floats(-3, 3, allow_nan=False),
+        )
+    )
+
+
+def explicit_kron(mats):
+    out = mats[0]
+    for M in mats[1:]:
+        out = np.kron(out, M)
+    return out
+
+
+class TestKroneckerProperties:
+    @given(st.lists(small_matrix(), min_size=1, max_size=3))
+    def test_matvec_matches_explicit(self, mats):
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        x = np.arange(1.0, K.shape[1] + 1)
+        assert np.allclose(K.matvec(x), E @ x, atol=1e-8)
+
+    @given(st.lists(small_matrix(), min_size=1, max_size=3))
+    def test_gram_identity(self, mats):
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.allclose(K.gram().dense(), E.T @ E, atol=1e-8)
+
+    @given(st.lists(small_matrix(), min_size=1, max_size=3))
+    def test_sensitivity_theorem3(self, mats):
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.isclose(
+            K.sensitivity(), np.abs(E).sum(axis=0).max(), atol=1e-8
+        )
+
+    @given(st.lists(small_matrix(), min_size=1, max_size=2))
+    def test_pinv_identity(self, mats):
+        # The identity (A⊗B)⁺ = A⁺⊗B⁺ is exact, but numerical pinv
+        # truncates singular values relative to the largest one, which
+        # differs between the factors and the product for ill-conditioned
+        # inputs; restrict to well-conditioned factors.
+        from hypothesis import assume
+
+        for M in mats:
+            svals = np.linalg.svd(M, compute_uv=False)
+            assume(svals.size > 0 and svals.min() > 0.1)
+        K = Kronecker([Dense(M) for M in mats])
+        E = explicit_kron(mats)
+        assert np.allclose(K.pinv().dense(), np.linalg.pinv(E), atol=1e-6)
+
+
+class TestStackProperties:
+    @given(
+        st.lists(
+            arrays(
+                np.float64,
+                st.tuples(st.integers(1, 4), st.just(5)),
+                elements=st.floats(-3, 3, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_vstack_equals_numpy_vstack(self, blocks):
+        S = VStack([Dense(B) for B in blocks])
+        E = np.vstack(blocks)
+        x = np.arange(1.0, 6.0)
+        assert np.allclose(S.matvec(x), E @ x)
+        assert np.allclose(S.gram().dense(), E.T @ E, atol=1e-8)
+        assert np.isclose(S.sensitivity(), np.abs(E).sum(axis=0).max(), atol=1e-8)
+
+    @given(
+        small_matrix(),
+        st.floats(0.1, 5.0, allow_nan=False),
+    )
+    def test_weighted_consistency(self, M, w):
+        W = Weighted(Dense(M), w)
+        assert np.allclose(W.dense(), w * M)
+        assert np.isclose(W.sensitivity(), w * np.abs(M).sum(axis=0).max(), rtol=1e-9)
+
+
+class TestMarginalsProperties:
+    SIZES = (2, 3, 2)
+
+    @given(
+        arrays(np.float64, 8, elements=st.floats(0, 3, allow_nan=False)),
+        arrays(np.float64, 8, elements=st.floats(0, 3, allow_nan=False)),
+    )
+    def test_product_closure(self, u, v):
+        alg = MarginalsAlgebra(self.SIZES)
+        Gu = MarginalsGram(self.SIZES, u).dense()
+        Gv = MarginalsGram(self.SIZES, v).dense()
+        w = alg.multiply_weights(u, v)
+        assert np.allclose(Gu @ Gv, MarginalsGram(self.SIZES, w).dense(), atol=1e-6)
+
+    @given(
+        arrays(np.float64, 8, elements=st.floats(0, 3, allow_nan=False)),
+        arrays(np.float64, 8, elements=st.floats(0, 3, allow_nan=False)),
+    )
+    def test_multiply_weights_symmetric(self, u, v):
+        alg = MarginalsAlgebra(self.SIZES)
+        assert np.allclose(
+            alg.multiply_weights(u, v), alg.multiply_weights(v, u), atol=1e-9
+        )
+
+    @given(
+        arrays(
+            np.float64, 8, elements=st.floats(0.05, 3, allow_nan=False)
+        )
+    )
+    def test_inverse_roundtrip(self, u):
+        alg = MarginalsAlgebra(self.SIZES)
+        v = alg.ginv_weights(u)
+        Gu = MarginalsGram(self.SIZES, u).dense()
+        Gv = MarginalsGram(self.SIZES, v).dense()
+        assert np.allclose(Gu @ Gv, np.eye(12), atol=1e-5)
+
+
+class TestPIdentityProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.integers(2, 6)),
+            elements=st.floats(0, 4, allow_nan=False),
+        )
+    )
+    def test_sensitivity_always_one(self, theta):
+        A = PIdentity(theta)
+        D = A.dense()
+        assert np.allclose(np.abs(D).sum(axis=0), 1.0)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.integers(2, 5)),
+            elements=st.floats(0.01, 4, allow_nan=False),
+        )
+    )
+    def test_loss_positive_and_matches_dense(self, theta):
+        n = theta.shape[1]
+        V = np.eye(n) + np.ones((n, n))  # a PSD workload Gram
+        loss, _ = pidentity_loss_and_grad(theta, V)
+        D = PIdentity(theta).dense()
+        direct = np.trace(np.linalg.inv(D.T @ D) @ V)
+        assert loss > 0
+        assert np.isclose(loss, direct, rtol=1e-6)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 2), st.integers(2, 4)),
+            elements=st.floats(0.05, 2, allow_nan=False),
+        )
+    )
+    def test_gram_inverse_woodbury(self, theta):
+        A = PIdentity(theta)
+        D = A.dense()
+        assert np.allclose(
+            A.gram_inverse(), np.linalg.inv(D.T @ D), rtol=1e-6, atol=1e-8
+        )
+
+
+class TestErrorProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 5), st.just(4)),
+            elements=st.floats(-2, 2, allow_nan=False),
+        )
+    )
+    def test_identity_error_is_gram_trace(self, Warr):
+        from repro.core.error import squared_error
+        from repro.linalg import Identity
+
+        W = Dense(Warr)
+        assert np.isclose(
+            squared_error(W, Identity(4)), np.trace(Warr.T @ Warr), atol=1e-8
+        )
+
+    @given(st.floats(0.2, 5.0, allow_nan=False))
+    def test_eps_scaling_law(self, eps):
+        from repro.core.error import expected_error
+        from repro.linalg import Identity, Prefix
+
+        W = Prefix(6)
+        base = expected_error(W, Identity(6), 1.0)
+        assert np.isclose(expected_error(W, Identity(6), eps), base / eps**2)
