@@ -1,0 +1,206 @@
+"""Performance regression benchmark for the optimization engine.
+
+Times the two hot paths this repo's perf engine accelerates and records a
+machine-readable trajectory in ``BENCH_PERF.json`` so future PRs can
+regress against it:
+
+* ``opt_hdmm`` on a Table-3-style multi-attribute workload (Adult 2-way
+  marginals — five attributes, 190 union terms), comparing the engine
+  (``workers=4``, Gram caching, dense marginals algebra) against the
+  *seed-equivalent path*: sequential execution with the structural-result
+  cache disabled (``set_cache_enabled(False)``) and the marginals algebra
+  forced onto its sparse/loop code path
+  (``set_dense_algebra_enabled(False)``) — the code path the seed commit
+  executed on every restart.  The engine must also return a loss equal to
+  its own ``workers=1`` run for the same seed (the determinism contract).
+* ``kmatmat`` — Algorithm 1 with a trailing batch axis — applying a
+  3-factor Kronecker product to a 64-column right-hand side at n = 4096,
+  against the seed's per-column ``kmatvec`` loop (what ``Matrix.matmat``
+  did before Kronecker gained a batched override).
+
+Run directly for the paper-style report; ``--quick`` shrinks restarts and
+repetitions for smoke runs; ``--json`` controls the output path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+try:
+    from .common import Timer, print_table
+except ImportError:
+    from common import Timer, print_table
+
+from repro.data import adult_domain
+from repro.linalg import (
+    Dense,
+    Identity,
+    Prefix,
+    Total,
+    kmatmat,
+    kmatvec,
+    set_cache_enabled,
+    set_dense_algebra_enabled,
+)
+from repro.optimize import opt_hdmm
+from repro.workload import k_way_marginals
+
+DEFAULT_JSON = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_PERF.json")
+
+
+def _workload():
+    """Fresh workload object per timing run so no memoized state leaks in."""
+    return k_way_marginals(adult_domain(), 2)
+
+
+def bench_opt_hdmm(restarts: int = 25, workers: int = 4, rng: int = 0) -> dict:
+    """Engine (workers=4 / workers=1) vs seed-equivalent sequential path."""
+    # Seed-equivalent: no structural caching, sparse marginals algebra,
+    # strictly sequential restarts.
+    set_cache_enabled(False)
+    set_dense_algebra_enabled(False)
+    try:
+        with Timer() as t_seed:
+            seed_res = opt_hdmm(_workload(), restarts=restarts, rng=rng, workers=1)
+    finally:
+        set_cache_enabled(True)
+        set_dense_algebra_enabled(True)
+
+    with Timer() as t_w1:
+        w1_res = opt_hdmm(_workload(), restarts=restarts, rng=rng, workers=1)
+    with Timer() as t_w4:
+        w4_res = opt_hdmm(_workload(), restarts=restarts, rng=rng, workers=workers)
+
+    return {
+        "workload": "adult-2way-marginals",
+        "restarts": restarts,
+        "workers": workers,
+        "seed_path_seconds": round(t_seed.elapsed, 4),
+        "engine_workers1_seconds": round(t_w1.elapsed, 4),
+        "engine_seconds": round(t_w4.elapsed, 4),
+        "speedup_vs_seed": round(t_seed.elapsed / t_w4.elapsed, 3),
+        "loss_seed_path": seed_res.loss,
+        "loss_workers1": w1_res.loss,
+        "loss_workers4": w4_res.loss,
+        "loss_deterministic": bool(w1_res.loss == w4_res.loss),
+    }
+
+
+def bench_kmatmat(batch: int = 64, reps: int = 7) -> dict:
+    """Batched kmatmat vs the seed per-column kmatvec loop at n = 4096."""
+    rng = np.random.default_rng(0)
+    cases = {
+        # Range-marginal-style product: the dominant Kronecker shape in
+        # marginal reconstruction (rectangular Total + Identity factors).
+        "prefix-identity-total": [Prefix(16), Identity(16), Total(16)],
+        # Dense strategy-factor product (PIdentity-like leaves).
+        "dense-cube": [Dense(rng.standard_normal((16, 16))) for _ in range(3)],
+    }
+    out: dict = {"n": 4096, "batch": batch, "factors": 3, "cases": {}}
+    for name, factors in cases.items():
+        n = int(np.prod([A.shape[1] for A in factors]))
+        X = rng.standard_normal((n, batch))
+        kmatmat(factors, X)  # warm-up
+        t_batched = min(
+            _timed(lambda: kmatmat(factors, X)) for _ in range(reps)
+        )
+        t_column = min(
+            _timed(
+                lambda: np.stack(
+                    [kmatvec(factors, X[:, j]) for j in range(batch)], axis=1
+                )
+            )
+            for _ in range(reps)
+        )
+        out["cases"][name] = {
+            "kmatmat_seconds": round(t_batched, 6),
+            "column_loop_seconds": round(t_column, 6),
+            "speedup": round(t_column / t_batched, 2),
+        }
+    out["speedup"] = out["cases"]["prefix-identity-total"]["speedup"]
+    return out
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> dict:
+    if restarts is None:
+        restarts = 2 if quick else 25
+    reps = 3 if quick else 7
+    results = {
+        "benchmark": "perf_regression",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "opt_hdmm": bench_opt_hdmm(restarts=restarts, workers=workers),
+        "kmatmat": bench_kmatmat(reps=reps),
+    }
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-run sizes (2 restarts, 3 reps)")
+    parser.add_argument("--restarts", type=int, default=None,
+                        help="override opt_hdmm restart count")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--json", default=DEFAULT_JSON,
+                        help=f"output path (default {DEFAULT_JSON})")
+    args = parser.parse_args()
+
+    results = run(quick=args.quick, restarts=args.restarts, workers=args.workers)
+    results["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    h = results["opt_hdmm"]
+    k = results["kmatmat"]
+    rows = [
+        ["opt_hdmm seed path", f"{h['seed_path_seconds']:.2f}s", ""],
+        ["opt_hdmm engine (workers=1)", f"{h['engine_workers1_seconds']:.2f}s", ""],
+        [
+            f"opt_hdmm engine (workers={h['workers']})",
+            f"{h['engine_seconds']:.2f}s",
+            f"{h['speedup_vs_seed']:.2f}x vs seed",
+        ],
+    ]
+    for name, case in k["cases"].items():
+        rows.append(
+            [
+                f"kmatmat {name}",
+                f"{case['kmatmat_seconds'] * 1e3:.2f}ms",
+                f"{case['speedup']:.1f}x vs column loop",
+            ]
+        )
+    print_table(
+        f"Perf regression ({'quick' if results['quick'] else 'full'}; "
+        f"restarts={h['restarts']})",
+        ["path", "time", "speedup"],
+        rows,
+    )
+    print(
+        f"loss determinism workers=1 vs workers={h['workers']}: "
+        f"{h['loss_deterministic']}"
+    )
+
+    with open(args.json, "w") as f:
+        json.dump(results, f, indent=2)
+    print(f"wrote {args.json}")
+
+
+def test_bench_perf_regression_smoke():
+    """Quick-mode engine run: determinism holds and nothing crashes."""
+    results = run(quick=True)
+    assert results["opt_hdmm"]["loss_deterministic"]
+    assert results["kmatmat"]["cases"]["prefix-identity-total"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -23,13 +23,13 @@ provides that computation with the structured fast paths HDMM relies on:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import linalg as sla
 
 from ..linalg import (
     Kronecker,
-    MarginalsAlgebra,
     MarginalsStrategy,
     Matrix,
     VStack,
@@ -52,6 +52,35 @@ def gram_inverse_trace(AtA: np.ndarray, V: np.ndarray) -> float:
         return float(np.trace(sla.cho_solve(cho, V, check_finite=False)))
     except (np.linalg.LinAlgError, sla.LinAlgError, ValueError):
         return float(np.trace(np.linalg.pinv(AtA) @ V))
+
+
+def gram_inverse_traces(AtA: np.ndarray, Vs: Sequence[np.ndarray]) -> list[float]:
+    """``[tr[(AᵀA)⁺ V] for V in Vs]`` with one factorization of ``AᵀA``.
+
+    Union-of-products error evaluation solves against the same strategy
+    Gram for every workload term; factoring once and solving all
+    right-hand sides in a single stacked triangular solve replaces
+    ``len(Vs)`` Cholesky factorizations with one.
+    """
+    if not Vs:
+        return []
+    AtA = np.asarray(AtA, dtype=np.float64)
+    n = AtA.shape[0]
+    try:
+        cho = sla.cho_factor(AtA, check_finite=False)
+        sol = sla.cho_solve(
+            cho, np.concatenate([np.asarray(V, dtype=np.float64) for V in Vs], axis=1),
+            check_finite=False,
+        )
+        return [
+            float(np.trace(sol[:, j * n : (j + 1) * n])) for j in range(len(Vs))
+        ]
+    except (np.linalg.LinAlgError, sla.LinAlgError, ValueError):
+        P = np.linalg.pinv(AtA)
+        return [
+            float(np.einsum("ij,ji->", P, np.asarray(V, dtype=np.float64)))
+            for V in Vs
+        ]
 
 
 def supports(W: Matrix, A: Matrix, tol: float = 1e-8) -> bool:
@@ -80,13 +109,20 @@ def _marginal_traces(factors, sizes) -> np.ndarray:
 
 
 def workload_marginal_traces(W: Matrix) -> np.ndarray:
-    """δ vector for a union-of-products workload: Σ_j w_j² δ⁽ʲ⁾."""
+    """δ vector for a union-of-products workload: Σ_j w_j² δ⁽ʲ⁾.
+
+    Memoized on ``W``: the vector depends only on the workload, yet OPT_M
+    needs it on every restart.  Treat the result as read-only.
+    """
+    cached = W.cache_get("marginal_traces")
+    if cached is not None:
+        return cached
     terms = as_union_of_products(W)
     sizes = [f.shape[1] for f in terms[0][1]]
     delta = np.zeros(1 << len(sizes))
     for w, factors in terms:
         delta += w**2 * _marginal_traces(factors, sizes)
-    return delta
+    return W.cache_set("marginal_traces", delta)
 
 
 def squared_error(W: Matrix, A: Matrix) -> float:
@@ -126,26 +162,41 @@ def error_ratio(W: Matrix, other: Matrix, baseline: Matrix) -> float:
 
 
 def _kron_error(W: Matrix, A: Kronecker) -> float:
-    """Theorem 6: single-product strategy against a union of products."""
+    """Theorem 6: single-product strategy against a union of products.
+
+    Workload products share factor objects heavily (marginal workloads
+    reuse the same Identity/Total factors across terms), so per attribute
+    each *distinct* factor trace is computed once — and all of them with a
+    single Cholesky factorization of the strategy factor's Gram.
+    """
     terms = as_union_of_products(W)
     d = len(A.factors)
     if any(len(factors) != d for _, factors in terms):
         raise ValueError("workload and strategy have different attribute counts")
     sens2 = A.sensitivity() ** 2
-    # Cache each factor's Gram inverse application across products.
-    grams = [Ai.gram().dense() for Ai in A.factors]
+    traces: list[dict[int, float]] = []
+    for i, Ai in enumerate(A.factors):
+        distinct: dict[int, Matrix] = {}
+        for _, factors in terms:
+            distinct.setdefault(id(factors[i]), factors[i])
+        vals = gram_inverse_traces(
+            Ai.gram().dense(), [f.gram().dense() for f in distinct.values()]
+        )
+        traces.append(dict(zip(distinct.keys(), vals)))
     total = 0.0
     for w, factors in terms:
         prod = w**2
-        for Gi, Wi in zip(grams, factors):
-            prod *= gram_inverse_trace(Gi, Wi.gram().dense())
+        for i, Wi in enumerate(factors):
+            prod *= traces[i][id(Wi)]
         total += prod
     return sens2 * total
 
 
 def _marginals_error(W: Matrix, A: MarginalsStrategy) -> float:
     """Section 6.3: ``(Σθ)² · tr[G(v) WᵀW]`` via the marginals algebra."""
-    alg = MarginalsAlgebra(A.sizes)
+    from ..linalg.marginals import get_algebra
+
+    alg = get_algebra(A.sizes)
     delta = workload_marginal_traces(W)
     u = A.theta**2
     if A.theta[-1] > 0:
@@ -166,16 +217,23 @@ def _union_error(W: Matrix, A: VStack) -> float:
     groups are inferred by assigning each workload product to the block
     with least error on it.
     """
+    from ..workload.logical import union_kron
+
     blocks = A.blocks
     l = len(blocks)
-    terms = as_union_of_products(W)
+    # The per-term sub-workload matrices are memoized on W so repeated
+    # error evaluations (one per OPT_+ candidate per restart) reuse them —
+    # and, transitively, every cached factor Gram they carry.
+    subs = W.cache_get("union_error_terms")
+    if subs is None:
+        terms = as_union_of_products(W)
+        subs = W.cache_set(
+            "union_error_terms",
+            [union_kron([(w, factors)]) for w, factors in terms],
+        )
     total = 0.0
-    for w, factors in terms:
-        from ..workload.logical import union_kron
-
-        sub = union_kron([(w, factors)])
-        best = min(squared_error(sub, B) for B in blocks)
-        total += best
+    for sub in subs:
+        total += min(squared_error(sub, B) for B in blocks)
     # Equal budget split: each block gets ε/l, inflating error by l².
     return l**2 * total
 

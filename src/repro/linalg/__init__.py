@@ -5,16 +5,18 @@ implicit linear operator supporting mat-vec products, Gram matrices,
 sensitivity (max L1 column norm), and structured pseudo-inverses.
 """
 
-from .base import Dense, Matrix
+from .base import Dense, Matrix, cache_enabled, set_cache_enabled
 from .identity import Identity, Ones, Total
-from .kron import Kronecker, kmatvec
+from .kron import Kronecker, kmatmat, kmatvec
 from .marginals import (
     MarginalsAlgebra,
     MarginalsGram,
     MarginalsStrategy,
+    get_algebra,
     index_to_subset,
     marginal_c_matrix,
     marginal_query_matrix,
+    set_dense_algebra_enabled,
     subset_to_index,
 )
 from .stack import Sum, VStack, Weighted
@@ -46,11 +48,16 @@ __all__ = [
     "VStack",
     "Weighted",
     "WidthRange",
+    "cache_enabled",
+    "get_algebra",
     "haar_wavelet",
     "hierarchical",
     "index_to_subset",
+    "kmatmat",
     "kmatvec",
     "marginal_c_matrix",
     "marginal_query_matrix",
+    "set_cache_enabled",
+    "set_dense_algebra_enabled",
     "subset_to_index",
 ]

@@ -16,11 +16,81 @@ needs *without* densifying:
 
 Subclasses override whichever operations have a structured fast path;
 :class:`Dense` is the explicit fallback used for modest domain sizes.
+
+Matrices in this library are **immutable**: once constructed, neither the
+shape nor the numerical content of a :class:`Matrix` changes.  The base
+class exploits this with a memoization layer: the expensive zero-argument
+structural operations (``gram``, ``dense``, ``sensitivity``, ...) are
+cached per instance, and the cache is inherited automatically by every
+subclass override via ``__init_subclass__``.  Strategy optimization calls
+``gram().dense()`` on the same workload factors hundreds of times across
+random restarts; with the cache those recomputations collapse to dict
+lookups.  Callers must treat returned arrays as read-only.
+
+``set_cache_enabled(False)`` disables the layer globally (used by the
+perf-regression benchmark to emulate the pre-cache code path, and useful
+when memory is tighter than CPU).
 """
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
+
+#: Zero-argument structural operations memoized on every Matrix subclass.
+_MEMOIZED_OPS = (
+    "gram",
+    "dense",
+    "sensitivity",
+    "column_abs_sums",
+    "constant_column_abs_sum",
+    "pinv",
+    "trace",
+    "sum",
+    "gram_inverse",
+)
+
+_CACHE_ENABLED = True
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Globally enable/disable structural-operation memoization.
+
+    Returns the previous setting.  Already-cached values are not evicted
+    (they stay correct — matrices are immutable); disabling only stops new
+    values from being stored or served.
+    """
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def cache_enabled() -> bool:
+    """Whether structural-operation memoization is currently on."""
+    return _CACHE_ENABLED
+
+
+def _memoized(fn):
+    """Wrap a zero-argument structural method with per-instance caching."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self):
+        if not _CACHE_ENABLED:
+            return fn(self)
+        memo = self.__dict__.get("_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_memo", memo)
+        if name not in memo:
+            memo[name] = fn(self)
+        return memo[name]
+
+    wrapper.__wrapped__ = fn
+    wrapper._is_memoized = True
+    return wrapper
 
 
 class Matrix:
@@ -37,6 +107,51 @@ class Matrix:
     shape: tuple[int, int]
     dtype = np.float64
 
+    def __init_subclass__(cls, **kwargs):
+        # The @cached_property-style layer: any structural operation a
+        # subclass defines (or redefines) is memoized automatically, so
+        # structured subclasses inherit the caching behaviour without
+        # annotating each override.
+        super().__init_subclass__(**kwargs)
+        for name in _MEMOIZED_OPS:
+            fn = cls.__dict__.get(name)
+            if fn is not None and callable(fn) and not getattr(
+                fn, "_is_memoized", False
+            ):
+                setattr(cls, name, _memoized(fn))
+
+    # -- memoization plumbing ---------------------------------------------
+    def cache_get(self, key: str, default=None):
+        """Read an arbitrary memoized value (used by workload decomposition
+        and error caches that live outside this module).  Returns
+        ``default`` while the cache is globally disabled, matching the
+        memoized structural operations."""
+        if not _CACHE_ENABLED:
+            return default
+        memo = self.__dict__.get("_memo")
+        return default if memo is None else memo.get(key, default)
+
+    def cache_set(self, key: str, value):
+        """Store an arbitrary memoized value on this matrix (no-op when the
+        cache is globally disabled).  Returns ``value`` for chaining."""
+        if _CACHE_ENABLED:
+            memo = self.__dict__.get("_memo")
+            if memo is None:
+                memo = {}
+                object.__setattr__(self, "_memo", memo)
+            memo[key] = value
+        return value
+
+    def __getstate__(self):
+        # Memoized values can be large (dense Grams); rebuild them on the
+        # receiving side instead of shipping them to worker processes.
+        state = dict(self.__dict__)
+        state.pop("_memo", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     # -- core linear operator interface ---------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Return ``A @ x`` for a vector ``x`` of length ``n``."""
@@ -47,28 +162,44 @@ class Matrix:
         raise NotImplementedError
 
     def matmat(self, X: np.ndarray) -> np.ndarray:
-        """Return ``A @ X`` for a dense matrix ``X`` (column-by-column)."""
+        """Return ``A @ X`` for a dense matrix ``X``.
+
+        Generic fallback: one ``matvec`` per column into a preallocated
+        output.  Structured subclasses (:class:`~repro.linalg.Kronecker`,
+        :class:`~repro.linalg.VStack`, ...) override this with batched
+        implementations that apply the whole right-hand side at once.
+        """
         X = np.asarray(X, dtype=self.dtype)
         if X.ndim == 1:
             return self.matvec(X)
-        return np.stack([self.matvec(X[:, j]) for j in range(X.shape[1])], axis=1)
+        out = np.empty((self.shape[0], X.shape[1]), dtype=self.dtype)
+        for j in range(X.shape[1]):
+            out[:, j] = self.matvec(X[:, j])
+        return out
 
     def rmatmat(self, Y: np.ndarray) -> np.ndarray:
-        """Return ``Aᵀ @ Y`` for a dense matrix ``Y`` (column-by-column)."""
+        """Return ``Aᵀ @ Y`` for a dense matrix ``Y`` (column-by-column
+        fallback; structured subclasses override with batched paths)."""
         Y = np.asarray(Y, dtype=self.dtype)
         if Y.ndim == 1:
             return self.rmatvec(Y)
-        return np.stack([self.rmatvec(Y[:, j]) for j in range(Y.shape[1])], axis=1)
+        out = np.empty((self.shape[1], Y.shape[1]), dtype=self.dtype)
+        for j in range(Y.shape[1]):
+            out[:, j] = self.rmatvec(Y[:, j])
+        return out
 
     # -- structured operations -------------------------------------------
+    @_memoized
     def gram(self) -> "Matrix":
         """The Gram matrix ``AᵀA`` as a :class:`Matrix` (n x n)."""
         return Dense(self.dense().T @ self.dense())
 
+    @_memoized
     def sensitivity(self) -> float:
         """L1 sensitivity ``‖A‖₁`` = maximum absolute column sum."""
         return float(np.abs(self.dense()).sum(axis=0).max())
 
+    @_memoized
     def column_abs_sums(self) -> np.ndarray:
         """Vector of absolute column sums (length n).
 
@@ -86,6 +217,7 @@ class Matrix:
         """
         return None
 
+    @_memoized
     def pinv(self) -> "Matrix":
         """Moore–Penrose pseudo-inverse ``A⁺`` as a :class:`Matrix`."""
         return Dense(np.linalg.pinv(self.dense()))
@@ -98,16 +230,19 @@ class Matrix:
     def T(self) -> "Matrix":
         return self.transpose()
 
+    @_memoized
     def dense(self) -> np.ndarray:
         """Materialize the matrix as a dense ndarray.
 
         Only safe for modest sizes; intended for tests, small problems,
-        and leaf factors of Kronecker products.
+        and leaf factors of Kronecker products.  The result is cached —
+        treat it as read-only.
         """
         m, n = self.shape
         eye = np.eye(n, dtype=self.dtype)
         return self.matmat(eye)
 
+    @_memoized
     def trace(self) -> float:
         """Matrix trace (square matrices only)."""
         m, n = self.shape
@@ -115,6 +250,7 @@ class Matrix:
             raise ValueError(f"trace of non-square matrix {self.shape}")
         return float(np.trace(self.dense()))
 
+    @_memoized
     def sum(self) -> float:
         """Sum of all entries, computed via two mat-vecs."""
         ones_n = np.ones(self.shape[1], dtype=self.dtype)

@@ -23,7 +23,10 @@ attribute order (Example 9: ``I ⊗ T ⊗ I`` ↔ ``C(101₂) = C(5)``).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
+from scipy import linalg as sla
 from scipy import sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
@@ -76,12 +79,57 @@ def marginal_query_matrix(sizes, a: int) -> Kronecker:
     return Kronecker(factors)
 
 
+#: Largest subset-lattice size (2^d) for which the O(4^d) pairwise index
+#: tables are materialized.  At the limit (d = 10) the three tables cost
+#: ~24 MB; beyond it the algebra falls back to the loop/sparse code paths.
+_DENSE_TABLE_LIMIT = 1024
+
+_DENSE_TABLES_ENABLED = True
+
+
+def set_dense_algebra_enabled(enabled: bool) -> bool:
+    """Toggle the vectorized dense-table fast path of the marginals algebra.
+
+    Returns the previous setting.  Used by the perf-regression benchmark to
+    time the pre-vectorization (sparse/loop) code path, and as an escape
+    hatch when the O(4^d) tables are too large for the available memory.
+    """
+    global _DENSE_TABLES_ENABLED
+    previous = _DENSE_TABLES_ENABLED
+    _DENSE_TABLES_ENABLED = bool(enabled)
+    if previous and not _DENSE_TABLES_ENABLED:
+        # Free already-materialized tables too — disabling is the memory
+        # escape hatch, so it must actually release the O(4^d) arrays.
+        get_algebra.cache_clear()
+    return previous
+
+
+@functools.lru_cache(maxsize=8)
+def get_algebra(sizes: tuple) -> "MarginalsAlgebra":
+    """Shared :class:`MarginalsAlgebra` instance for a domain's sizes.
+
+    OPT_M and the marginal error paths construct the algebra on every
+    call; the instance (and its lazily-built O(4^d) tables) depends only
+    on the attribute sizes, so it is cached process-wide.  The cache is
+    deliberately small — near the d = 10 table limit each entry can pin
+    ~24 MB — and is cleared by ``set_dense_algebra_enabled(False)``.
+    """
+    return MarginalsAlgebra(sizes)
+
+
 class MarginalsAlgebra:
     """Closed algebra of ``G(v) = Σ_a v_a C(a)`` for a fixed domain.
 
     Precomputes the scalar table ``C̄(k) = Π_i [n_i if k_i = 0 else 1]``
     (Proposition 3's constant) and exposes the product, inverse and adjoint
     operations needed by OPT_M — all in O(4^d) vectorized work.
+
+    For small subset lattices (``2^d <= 1024``) the algebra additionally
+    materializes the pairwise index tables ``a & b`` and ``C̄(a|b)`` once,
+    turning every ``X(u)`` construction, triangular solve and OPT_M
+    gradient into a handful of dense vectorized operations instead of
+    per-subset Python loops over scipy.sparse matrices — the single
+    hottest path of OPT_M restarts.
     """
 
     def __init__(self, sizes):
@@ -96,12 +144,37 @@ class MarginalsAlgebra:
             zero_bit = ((ks >> (self.d - 1 - i)) & 1) == 0
             cbar[zero_bit] *= n
         self.cbar = cbar  # C̄(k) lookup, length 2^d
+        self._tables = None  # lazily-built pairwise index tables
+
+    # -- pairwise index tables --------------------------------------------
+    @property
+    def has_dense_tables(self) -> bool:
+        """Whether the vectorized O(4^d)-table fast path is available."""
+        return _DENSE_TABLES_ENABLED and self.size <= _DENSE_TABLE_LIMIT
+
+    def _pair_tables(self):
+        """``(AND, CBAR_OR, FLAT)`` with ``AND[a,b] = a & b``,
+        ``CBAR_OR[a,b] = C̄(a|b)`` and ``FLAT = (AND * 2^d + b).ravel()``."""
+        if self._tables is None:
+            a = np.arange(self.size)
+            and_table = a[:, None] & a[None, :]
+            cbar_or = self.cbar[a[:, None] | a[None, :]]
+            flat = (and_table * self.size + a[None, :]).ravel()
+            self._tables = (and_table, cbar_or, flat)
+        return self._tables
 
     # -- products ---------------------------------------------------------
     def multiply_weights(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Weights w with ``G(u) G(v) = G(w)`` — i.e. ``w = X(u) v``."""
         u = np.asarray(u, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
+        if self.has_dense_tables:
+            and_table, cbar_or, _ = self._pair_tables()
+            return np.bincount(
+                and_table.ravel(),
+                weights=(np.outer(u, v) * cbar_or).ravel(),
+                minlength=self.size,
+            )
         a = np.arange(self.size)
         w = np.zeros(self.size)
         for b in range(self.size):
@@ -132,6 +205,62 @@ class MarginalsAlgebra:
         )
         return X.tocsr()
 
+    def x_matrix_dense(self, u: np.ndarray) -> np.ndarray:
+        """``X(u)`` as a dense ndarray via one vectorized scatter-add.
+
+        Requires the pairwise tables: the whole matrix is a single
+        ``bincount`` over the flattened ``(a&b, b)`` index table with
+        weights ``u_a C̄(a|b)`` — no Python loop over subsets.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        _, cbar_or, flat = self._pair_tables()
+        return np.bincount(
+            flat, weights=(u[:, None] * cbar_or).ravel(),
+            minlength=self.size * self.size,
+        ).reshape(self.size, self.size)
+
+    def x_operator(self, u: np.ndarray):
+        """``X(u)`` in the cheapest available representation (dense/sparse)."""
+        if self.has_dense_tables:
+            return self.x_matrix_dense(u)
+        return self.x_matrix(u)
+
+    def solve_upper(self, X, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitution ``X v = rhs`` for upper-triangular ``X`` from
+        :meth:`x_operator` (dense or sparse)."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if isinstance(X, np.ndarray):
+            return sla.solve_triangular(X, rhs, lower=False, check_finite=False)
+        return spsolve_triangular(X, rhs, lower=False)
+
+    def solve_lower_t(self, X, rhs: np.ndarray) -> np.ndarray:
+        """Forward-substitution ``Xᵀ φ = rhs`` (lower-triangular transpose)."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if isinstance(X, np.ndarray):
+            return sla.solve_triangular(
+                X, rhs, lower=False, trans="T", check_finite=False
+            )
+        return spsolve_triangular(X.T.tocsr(), rhs, lower=True)
+
+    def grad_dot(self, phi: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """OPT_M gradient kernel: ``out[b] = Σ_c φ(b&c) C̄(b|c) v_c``.
+
+        One fancy-indexed matrix-vector product with the pairwise tables;
+        falls back to the per-subset loop above the table size limit.
+        """
+        phi = np.asarray(phi, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if self.has_dense_tables:
+            and_table, cbar_or, _ = self._pair_tables()
+            return (phi[and_table] * cbar_or) @ v
+        b = np.arange(self.size)
+        out = np.zeros(self.size)
+        for c in range(self.size):
+            if v[c] == 0.0:
+                continue
+            out += phi[b & c] * self.cbar[b | c] * v[c]
+        return out
+
     # -- inverses -----------------------------------------------------------
     def ginv_weights(self, u: np.ndarray) -> np.ndarray:
         """Weights v with ``G(u) G(v) = I`` (requires u_full > 0).
@@ -146,10 +275,9 @@ class MarginalsAlgebra:
             raise ValueError(
                 "G(u) inverse requires positive weight on the full marginal"
             )
-        X = self.x_matrix(u)
         e = np.zeros(self.size)
         e[-1] = 1.0
-        return spsolve_triangular(X, e, lower=False)
+        return self.solve_upper(self.x_operator(u), e)
 
     def ginv_weights_general(self, u: np.ndarray) -> np.ndarray:
         """Weights v of a *generalized* inverse: ``G(u)G(v)G(u) = G(u)``.
@@ -162,16 +290,16 @@ class MarginalsAlgebra:
         *a* least-squares solution in reconstruction.
         """
         u = np.asarray(u, dtype=np.float64)
-        X = self.x_matrix(u)
-        X2 = (X @ X).toarray()
+        X = self.x_operator(u)
+        X2 = X @ X if isinstance(X, np.ndarray) else (X @ X).toarray()
         v, *_ = np.linalg.lstsq(X2, u, rcond=None)
         return v
 
     def adjoint_solve(self, u: np.ndarray, delta: np.ndarray) -> np.ndarray:
         """Solve ``X(u)ᵀ φ = δ`` (used for the OPT_M analytic gradient)."""
-        X = self.x_matrix(np.asarray(u, dtype=np.float64))
-        return spsolve_triangular(
-            X.T.tocsr(), np.asarray(delta, dtype=np.float64), lower=True
+        u = np.asarray(u, dtype=np.float64)
+        return self.solve_lower_t(
+            self.x_operator(u), np.asarray(delta, dtype=np.float64)
         )
 
     def gram_weights(self, theta: np.ndarray) -> np.ndarray:
@@ -210,6 +338,18 @@ class MarginalsGram(Matrix):
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         return self.matvec(y)  # G(v) is symmetric
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        out = np.zeros((self.shape[0], X.shape[1]))
+        for term in self._terms():
+            out += term.matmat(X)
+        return out
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.matmat(Y)  # G(v) is symmetric
+
     def transpose(self) -> "MarginalsGram":
         return self
 
@@ -221,7 +361,6 @@ class MarginalsGram(Matrix):
 
     def trace(self) -> float:
         N = self.shape[0]
-        alg = MarginalsAlgebra(self.sizes)
         # tr C(a) = Π_i (n_i) over kept bits... tr(1_{n x n}) = n, tr(I_n) = n,
         # so tr C(a) = N for every a.
         return float(self.weights.sum() * N)
@@ -259,6 +398,12 @@ class MarginalsStrategy(Matrix):
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         return self._stack.rmatvec(y)
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        return self._stack.matmat(X)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self._stack.rmatmat(Y)
+
     def gram(self) -> MarginalsGram:
         return MarginalsGram(self.sizes, self.theta**2)
 
@@ -277,7 +422,7 @@ class MarginalsStrategy(Matrix):
         produces a least-squares solution (and identical answers for any
         supported workload), though not necessarily the minimum-norm one.
         """
-        alg = MarginalsAlgebra(self.sizes)
+        alg = get_algebra(self.sizes)
         if self.theta[-1] > 0:
             v = alg.ginv_weights(self.theta**2)
         else:

@@ -196,6 +196,24 @@ class Sum(Matrix):
             out += T.rmatvec(y)
         return out
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        out = np.zeros((self.shape[0], X.shape[1]))
+        for T in self.terms:
+            out += T.matmat(X)
+        return out
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        out = np.zeros((self.shape[1], Y.shape[1]))
+        for T in self.terms:
+            out += T.rmatmat(Y)
+        return out
+
     def transpose(self) -> Matrix:
         return Sum([T.T for T in self.terms])
 

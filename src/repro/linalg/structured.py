@@ -93,6 +93,34 @@ class AllRange(Matrix):
             pos += cnt
         return out
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        # Batched prefix trick: one row-block of output per range start,
+        # all columns at once.
+        prefix = np.vstack([np.zeros((1, X.shape[1])), np.cumsum(X, axis=0)])
+        out = np.empty((self.shape[0], X.shape[1]))
+        pos = 0
+        for i in range(self.n):
+            cnt = self.n - i
+            out[pos : pos + cnt] = prefix[i + 1 :] - prefix[i]
+            pos += cnt
+        return out
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        out = np.zeros((self.n, Y.shape[1]))
+        pos = 0
+        for i in range(self.n):
+            cnt = self.n - i
+            block = Y[pos : pos + cnt]
+            out[i:] += np.cumsum(block[::-1], axis=0)[::-1]
+            pos += cnt
+        return out
+
     def gram(self) -> Dense:
         # #ranges containing both i and j = (min(i,j)+1) * (n - max(i,j)).
         idx = np.arange(self.n, dtype=np.float64)
@@ -144,6 +172,26 @@ class WidthRange(Matrix):
             hi = min(j, m - 1)
             if lo <= hi:
                 out[j] = csum[hi + 1] - csum[lo]
+        return out
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        prefix = np.vstack([np.zeros((1, X.shape[1])), np.cumsum(X, axis=0)])
+        return prefix[self.width :] - prefix[: -self.width]
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        Y = np.asarray(Y, dtype=self.dtype)
+        if Y.ndim == 1:
+            return self.rmatvec(Y)
+        m = self.shape[0]
+        csum = np.vstack([np.zeros((1, Y.shape[1])), np.cumsum(Y, axis=0)])
+        j = np.arange(self.n)
+        lo = np.maximum(0, j - self.width + 1)
+        hi = np.minimum(j, m - 1)
+        out = csum[hi + 1] - csum[lo]
+        out[lo > hi] = 0.0
         return out
 
     def gram(self) -> Dense:

@@ -39,18 +39,40 @@ def identity_result(W: Matrix) -> OptResult:
     return OptResult(strategy, squared_error(W, strategy))
 
 
+def _op_kron(W: Matrix, rng) -> OptResult:
+    return opt_kron(W, rng=rng)
+
+
+def _op_union(W: Matrix, rng) -> OptResult:
+    return opt_union(W, rng=rng, groups=2)
+
+
+def _op_marginals(W: Matrix, rng) -> OptResult:
+    return opt_marginals(W, rng=rng)
+
+
 def default_operators(W: Matrix) -> list[tuple[str, Operator]]:
-    """The operator set P used by the paper's instantiation of OPT_HDMM."""
+    """The operator set P used by the paper's instantiation of OPT_HDMM.
+
+    The entries are module-level functions (not closures) so the whole
+    operator set can be shipped to worker *processes* by the parallel
+    engine; user-supplied operator sets may still be arbitrary callables
+    (the engine falls back to threads for anything unpicklable).
+    """
     terms = as_union_of_products(W)
     d = len(terms[0][1])
-    ops: list[tuple[str, Operator]] = [
-        ("OPT_kron", lambda w, rng: opt_kron(w, rng=rng))
-    ]
+    ops: list[tuple[str, Operator]] = [("OPT_kron", _op_kron)]
     if len(terms) > 1:
-        ops.append(("OPT_union", lambda w, rng: opt_union(w, rng=rng, groups=2)))
+        ops.append(("OPT_union", _op_union))
     if d <= _MAX_MARGINAL_DIMS:
-        ops.append(("OPT_marginals", lambda w, rng: opt_marginals(w, rng=rng)))
+        ops.append(("OPT_marginals", _op_marginals))
     return ops
+
+
+def _run_operator(payload) -> OptResult:
+    """One (restart, operator) cell of Algorithm 2's loop (engine task)."""
+    W, op, seed = payload
+    return op(W, np.random.default_rng(seed))
 
 
 def opt_hdmm(
@@ -59,6 +81,8 @@ def opt_hdmm(
     rng: np.random.Generator | int | None = None,
     operators: Sequence[tuple[str, Operator]] | None = None,
     verbose: bool = False,
+    workers: int | None = 1,
+    executor: str = "auto",
 ) -> OptResult:
     """Algorithm 2: multi-restart, multi-operator strategy selection.
 
@@ -72,25 +96,52 @@ def opt_hdmm(
     operators:
         Optional override of the operator set; each entry is
         ``(name, fn(W, rng) -> OptResult)``.
+    workers:
+        Maximum concurrent ``(restart, operator)`` cells.  Determinism
+        contract: restart ``s`` owns child ``s`` of the root seed, and
+        operator ``o`` within it owns child ``o`` of that child
+        (``SeedSequence.spawn`` both times), so every cell's randomness is
+        fixed by ``rng`` alone — the returned strategy and loss are
+        bit-identical for every worker count, executor choice, and
+        completion order.  The reduction picks the minimum valid loss with
+        ties broken by (restart, operator) order.
+    executor:
+        ``"auto"`` (threads; the restarts spend their time in
+        GIL-releasing BLAS/LAPACK), ``"thread"``, or ``"process"``
+        (requires picklable operators; falls back to threads otherwise).
 
     Returns
     -------
     The best :class:`OptResult` found; ``loss`` is the expected squared
     error at sensitivity 1 (``‖A‖₁²·‖WA⁺‖_F²``).
     """
-    rng = np.random.default_rng(rng)
+    from .parallel import best_index, run_tasks, spawn_seeds
+
     if operators is None:
         operators = default_operators(W)
 
     best = identity_result(W)
     if verbose:
         print(f"Identity baseline: {best.loss:.6g}")
-    for s in range(restarts):
-        for name, op in operators:
-            result = op(W, rng)
-            if verbose:
-                print(f"restart {s} {name}: {result.loss:.6g}")
-            valid = np.isfinite(result.loss) and result.loss > 0
-            if valid and result.loss < best.loss:
-                best = result
+
+    # One seed per (restart, operator) cell, spawned by index so the
+    # assignment is independent of scheduling.
+    tasks = []
+    labels = []
+    for s, restart_seed in enumerate(spawn_seeds(rng, restarts)):
+        op_seeds = restart_seed.spawn(len(operators))
+        for (name, op), seed in zip(operators, op_seeds):
+            tasks.append((W, op, seed))
+            labels.append((s, name))
+    results = run_tasks(_run_operator, tasks, workers=workers, executor=executor)
+
+    if verbose:
+        for (s, name), result in zip(labels, results):
+            print(f"restart {s} {name}: {result.loss:.6g}")
+    idx = best_index(
+        [r.loss for r in results],
+        valid=lambda loss: bool(np.isfinite(loss) and loss > 0),
+    )
+    if idx is not None and results[idx].loss < best.loss:
+        best = results[idx]
     return OptResult(best.strategy, best.loss, restarts)

@@ -176,6 +176,30 @@ class OptResult:
     restarts: int = 1
 
 
+def _opt0_restart(payload) -> tuple[float, np.ndarray]:
+    """One OPT_0 restart: L-BFGS-B from a fixed initialization.
+
+    Module-level (and fed a fully-materialized payload) so the parallel
+    engine can ship it to worker processes as well as threads.
+    """
+    V, theta0, maxiter = payload
+    p, n = theta0.shape
+
+    def fun(x):
+        loss, grad = pidentity_loss_and_grad(x.reshape(p, n), V)
+        return loss, grad.ravel()
+
+    res = sopt.minimize(
+        fun,
+        theta0.ravel(),
+        jac=True,
+        method="L-BFGS-B",
+        bounds=[(0.0, None)] * (p * n),
+        options={"maxiter": maxiter},
+    )
+    return float(res.fun), res.x.reshape(p, n)
+
+
 def opt_0(
     V: np.ndarray | Matrix,
     p: int | None = None,
@@ -183,6 +207,8 @@ def opt_0(
     restarts: int = 1,
     maxiter: int = 500,
     init: np.ndarray | None = None,
+    workers: int | None = 1,
+    executor: str = "auto",
 ) -> OptResult:
     """Solve Problem 2 for an explicit workload Gram (paper OPT_0).
 
@@ -202,7 +228,18 @@ def opt_0(
         Random restarts; the best local minimum is returned.
     init:
         Optional explicit initialization for the first restart.
+    workers:
+        Maximum concurrent restarts.  Restart ``r`` always draws its
+        initialization from child ``r`` of the root seed
+        (``SeedSequence.spawn``), and the minimum-loss winner is selected
+        with a first-index tie-break, so for a given ``rng`` the result is
+        bit-identical for every worker count (``workers=1`` included).
+    executor:
+        ``"auto"``/``"thread"``/``"process"`` — see
+        :func:`repro.optimize.parallel.run_tasks`.
     """
+    from .parallel import best_index, run_tasks, spawn_generators
+
     V = V.dense() if isinstance(V, Matrix) else np.asarray(V, dtype=np.float64)
     n = V.shape[0]
     if V.shape != (n, n):
@@ -211,9 +248,11 @@ def opt_0(
         p = max(1, n // 16)
     if p < 1:
         raise ValueError("p must be at least 1")
-    rng = np.random.default_rng(rng)
 
-    best_theta, best_loss = None, np.inf
+    # Initializations are drawn up-front, one spawned stream per restart,
+    # so the restart → start-point mapping never depends on worker count.
+    gens = spawn_generators(rng, restarts)
+    inits = []
     for r in range(restarts):
         if r == 0 and init is not None:
             theta0 = np.asarray(init, dtype=np.float64)
@@ -222,28 +261,22 @@ def opt_0(
         else:
             # Small-scale initialization: large inits drive L-BFGS-B into
             # the Θ=0 corner (a KKT point equal to the Identity strategy).
-            theta0 = 0.25 * rng.random((p, n))
+            theta0 = 0.25 * gens[r].random((p, n))
+        inits.append(theta0)
 
-        def fun(x):
-            loss, grad = pidentity_loss_and_grad(x.reshape(p, n), V)
-            return loss, grad.ravel()
-
-        res = sopt.minimize(
-            fun,
-            theta0.ravel(),
-            jac=True,
-            method="L-BFGS-B",
-            bounds=[(0.0, None)] * (p * n),
-            options={"maxiter": maxiter},
-        )
-        if res.fun < best_loss:
-            best_loss = float(res.fun)
-            best_theta = res.x.reshape(p, n)
+    results = run_tasks(
+        _opt0_restart,
+        [(V, theta0, maxiter) for theta0 in inits],
+        workers=workers,
+        executor=executor,
+    )
+    idx = best_index([loss for loss, _ in results])
+    best_loss, best_theta = (np.inf, None) if idx is None else results[idx]
 
     # Θ = 0 (the Identity strategy) is inside the search space; never
     # return a local minimum that is worse than it.
     identity_loss = float(np.trace(V))
-    if identity_loss < best_loss:
+    if best_theta is None or identity_loss < best_loss:
         best_theta = np.zeros((p, n))
         best_loss = identity_loss
     return OptResult(PIdentity(best_theta), best_loss, restarts)

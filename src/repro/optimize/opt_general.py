@@ -80,5 +80,11 @@ def opt_general(
             best_loss = float(res.fun)
             best = res.x.reshape(p, n)
 
+    if best is None or not np.isfinite(best_loss):
+        # Every restart diverged (infinite loss, e.g. a zero column that
+        # L-BFGS never escaped).  The column-normalized Identity strategy
+        # is always feasible — fall back to it, like opt_0 does.
+        best = np.vstack([np.eye(n), np.zeros((p - n, n))])
+        best_loss = float(np.trace(V))
     A = best / best.sum(axis=0)[None, :]
     return OptResult(Dense(A), best_loss, restarts)

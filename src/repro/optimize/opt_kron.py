@@ -20,7 +20,6 @@ import math
 
 import numpy as np
 
-from ..core.error import gram_inverse_trace
 from ..linalg import Kronecker, Matrix
 from ..workload.util import as_union_of_products
 from .opt0 import OptResult, opt_0
@@ -68,6 +67,12 @@ def _factor_grams(W: Matrix) -> tuple[list[float], list[list[np.ndarray]]]:
     return weights, grams
 
 
+def _opt_attribute(payload) -> OptResult:
+    """One per-attribute OPT_0 sub-problem (parallel engine task)."""
+    V, p, seed, maxiter = payload
+    return opt_0(V, p=p, rng=seed, maxiter=maxiter)
+
+
 def opt_kron(
     W: Matrix,
     ps: list[int] | None = None,
@@ -75,6 +80,8 @@ def opt_kron(
     max_cycles: int = 10,
     rtol: float = 1e-4,
     maxiter: int = 500,
+    workers: int | None = 1,
+    executor: str = "auto",
 ) -> OptResult:
     """OPT_⊗: optimize a product strategy for a (union of) product workload.
 
@@ -89,13 +96,21 @@ def opt_kron(
         product needs exactly one sweep — the problems are independent).
     rtol:
         Relative objective improvement below which the sweep loop stops.
+    workers:
+        Maximum concurrent per-attribute OPT_0 sub-problems (Theorem 5
+        makes them independent for a single product; the initialization
+        pass of the union case is equally independent).  Attribute ``i``
+        always receives child seed ``i`` of the root ``rng``
+        (``SeedSequence.spawn``), so results are identical for every
+        worker count given the same seed.
 
     Returns
     -------
     OptResult with a :class:`Kronecker` strategy of sensitivity 1 and
     ``loss = ‖W A⁺‖_F²``.
     """
-    rng = np.random.default_rng(rng)
+    from .parallel import run_tasks, spawn_seeds
+
     weights, grams = _factor_grams(W)
     k = len(weights)
     d = len(grams[0])
@@ -105,26 +120,39 @@ def opt_kron(
     if len(ps) != d:
         raise ValueError(f"expected {d} p parameters, got {len(ps)}")
 
+    seeds = spawn_seeds(rng, d)
+
     if k == 1:
         # Theorem 5: independent per-attribute problems.
-        results = [
-            opt_0(grams[0][i], p=ps[i], rng=rng, maxiter=maxiter) for i in range(d)
-        ]
+        results = run_tasks(
+            _opt_attribute,
+            [(grams[0][i], ps[i], seeds[i], maxiter) for i in range(d)],
+            workers=workers,
+            executor=executor,
+        )
         loss = weights[0] ** 2 * math.prod(r.loss for r in results)
         return OptResult(Kronecker([r.strategy for r in results]), loss)
 
     # Union of products: block coordinate descent on the coupled objective.
-    # Initialize each attribute by optimizing its unweighted average Gram.
-    strategies = []
+    # Stack each attribute's k factor Grams once; every surrogate build and
+    # loss update below is a single tensor contraction against the stack.
+    stacked = [
+        np.stack([grams[j][i] for j in range(k)]) for i in range(d)
+    ]  # stacked[i]: (k, n_i, n_i)
+
+    # Initialize each attribute by optimizing its unweighted average Gram
+    # (independent problems — fanned out like the k == 1 case).
+    init_results = run_tasks(
+        _opt_attribute,
+        [(stacked[i].mean(axis=0), ps[i], seeds[i], maxiter) for i in range(d)],
+        workers=workers,
+        executor=executor,
+    )
+    strategies = [r.strategy for r in init_results]
     losses = np.empty((k, d))  # losses[j][i] = tr[(AᵢᵀAᵢ)⁻¹ Gᵢ⁽ʲ⁾]
     for i in range(d):
-        avg = sum(grams[j][i] for j in range(k)) / k
-        res = opt_0(avg, p=ps[i], rng=rng, maxiter=maxiter)
-        strategies.append(res.strategy)
-        for j in range(k):
-            losses[j, i] = gram_inverse_trace(
-                strategies[i].gram().dense(), grams[j][i]
-            )
+        gi = strategies[i].gram_inverse()
+        losses[:, i] = np.einsum("ij,kji->k", gi, stacked[i])
 
     w2 = np.asarray(weights) ** 2
 
@@ -136,7 +164,7 @@ def opt_kron(
         for i in range(d):
             # Surrogate Gram: Σ_j c_j² Gᵢ⁽ʲ⁾, c_j² = w_j² Π_{i'≠i} losses[j,i'].
             c2 = w2 * np.prod(np.delete(losses, i, axis=1), axis=1)
-            surrogate = sum(c2[j] * grams[j][i] for j in range(k))
+            surrogate = np.tensordot(c2, stacked[i], axes=1)
             # Normalize scale: argmin is invariant, but huge magnitudes
             # (products of per-attribute losses) destabilize L-BFGS.
             scale = np.abs(np.diag(surrogate)).max()
@@ -145,14 +173,13 @@ def opt_kron(
             res = opt_0(
                 surrogate,
                 p=ps[i],
-                rng=rng,
+                rng=seeds[i],
                 maxiter=maxiter,
                 init=strategies[i].theta,
             )
             strategies[i] = res.strategy
             gi = strategies[i].gram_inverse()
-            for j in range(k):
-                losses[j, i] = float(np.einsum("ij,ji->", gi, grams[j][i]))
+            losses[:, i] = np.einsum("ij,kji->k", gi, stacked[i])
         cur = objective()
         if prev - cur <= rtol * max(prev, 1e-12):
             prev = cur
@@ -161,10 +188,10 @@ def opt_kron(
 
     # The all-Identity product strategy lies in the search space (Θ=0 per
     # attribute); never return a coupled local minimum that is worse.
-    identity_obj = float(
-        np.sum(w2 * np.prod([[np.trace(grams[j][i]) for i in range(d)]
-                             for j in range(k)], axis=1))
-    )
+    term_traces = np.stack(
+        [np.trace(stacked[i], axis1=1, axis2=2) for i in range(d)], axis=1
+    )  # (k, d)
+    identity_obj = float(np.sum(w2 * np.prod(term_traces, axis=1)))
     if identity_obj < prev:
         from .opt0 import PIdentity
 

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import optimize as sopt
-from scipy.sparse.linalg import spsolve_triangular
 
 from ..core.error import workload_marginal_traces
 from ..linalg import MarginalsAlgebra, MarginalsStrategy, Matrix
+from ..linalg.marginals import get_algebra
 from ..workload.util import attribute_sizes
 from .opt0 import OptResult
 
@@ -34,7 +34,10 @@ def marginals_loss_and_grad(
     """Objective f(θ) and its analytic gradient.
 
     Requires ``theta[-1] > 0`` so the Gram is invertible (the paper forces
-    the full-contingency weight strictly positive).
+    the full-contingency weight strictly positive).  One ``X(u)`` build
+    feeds both triangular solves, and on domains within the algebra's
+    dense-table limit the build, the solves and the gradient kernel are
+    all fully vectorized (no per-subset Python loops).
     """
     theta = np.asarray(theta, dtype=np.float64)
     size = alg.size
@@ -42,12 +45,12 @@ def marginals_loss_and_grad(
         return np.inf, np.zeros(size)
     u = theta**2
 
-    X = alg.x_matrix(u)
+    X = alg.x_operator(u)
     e = np.zeros(size)
     e[-1] = 1.0
     try:
-        v = spsolve_triangular(X, e, lower=False)
-        phi = spsolve_triangular(X.T.tocsr(), delta, lower=True)
+        v = alg.solve_upper(X, e)
+        phi = alg.solve_lower_t(X, delta)
     except Exception:
         return np.inf, np.zeros(size)
     if not (np.all(np.isfinite(v)) and np.all(np.isfinite(phi))):
@@ -61,16 +64,33 @@ def marginals_loss_and_grad(
         # produce garbage; report infeasible so the optimizer backtracks.
         return np.inf, np.zeros(size)
 
-    # dg/du_b = -Σ_c φ[b&c] · C̄(b|c) · v_c, vectorized over b per c.
-    b = np.arange(size)
-    dg_du = np.zeros(size)
-    for c in range(size):
-        if v[c] == 0.0:
-            continue
-        dg_du -= phi[b & c] * alg.cbar[b | c] * v[c]
+    # dg/du_b = -Σ_c φ[b&c] · C̄(b|c) · v_c.
+    dg_du = -alg.grad_dot(phi, v)
 
     grad = 2.0 * S * gval + S**2 * dg_du * 2.0 * theta
     return loss, grad
+
+
+def _marginals_restart(payload) -> tuple[float, np.ndarray]:
+    """One OPT_M restart from a fixed initialization (engine task)."""
+    alg, delta, theta0, bounds, maxiter = payload
+
+    def fun(x):
+        loss, grad = marginals_loss_and_grad(x, alg, delta)
+        return loss, grad
+
+    res = sopt.minimize(
+        fun,
+        theta0,
+        jac=True,
+        method="L-BFGS-B",
+        bounds=bounds,
+        options={"maxiter": maxiter},
+    )
+    # Re-evaluate at the solution: L-BFGS can report the objective of a
+    # rejected probe point when it aborts on a failed line search.
+    final_loss, _ = marginals_loss_and_grad(np.asarray(res.x), alg, delta)
+    return float(final_loss), np.asarray(res.x)
 
 
 def opt_marginals(
@@ -79,6 +99,8 @@ def opt_marginals(
     restarts: int = 2,
     maxiter: int = 500,
     init: np.ndarray | None = None,
+    workers: int | None = 1,
+    executor: str = "auto",
 ) -> OptResult:
     """OPT_M: optimize a marginals strategy for a union-of-products workload.
 
@@ -86,13 +108,19 @@ def opt_marginals(
     trace and sum of each factor Gram), but most effective when the
     workload itself is marginal-like.
 
+    ``workers`` fans the restarts out over the parallel engine; restart
+    ``r`` always draws its initialization from child ``r`` of the root
+    seed, so results are identical for every worker count given the same
+    ``rng`` (see :mod:`repro.optimize.parallel`).
+
     Returns an :class:`OptResult` whose strategy is a sensitivity-1
     :class:`~repro.linalg.MarginalsStrategy` and whose ``loss`` equals
     ``(Σθ)²‖WM(θ)⁺‖_F²`` — directly comparable to the other operators.
     """
-    rng = np.random.default_rng(rng)
+    from .parallel import best_index, run_tasks, spawn_generators
+
     sizes = attribute_sizes(W)
-    alg = MarginalsAlgebra(sizes)
+    alg = get_algebra(tuple(sizes))
     delta = workload_marginal_traces(W)
     size = alg.size
 
@@ -101,37 +129,44 @@ def opt_marginals(
     # triangular solves stay well-conditioned.
     bounds = [(0.0, None)] * (size - 1) + [(1e-4, None)]
 
-    best_theta, best_loss = None, np.inf
+    gens = spawn_generators(rng, restarts)
+    inits = []
     for r in range(restarts):
         if r == 0 and init is not None:
             theta0 = np.asarray(init, dtype=np.float64)
+        elif r == 0:
+            # Deterministic uniform start: well-conditioned and reliably
+            # in the good basin, so the first restart never depends on
+            # seed luck.
+            theta0 = np.ones(size)
         elif r % 2 == 0:
-            # Near-uniform initialization: well-conditioned and reliably
-            # converges to a good basin.
-            theta0 = 1.0 + 0.3 * rng.random(size)
+            # Near-uniform initialization: perturbations around the
+            # uniform basin.
+            theta0 = 1.0 + 0.3 * gens[r].random(size)
         else:
             # Small-scale initialization explores sparser weightings that
             # occasionally beat the uniform basin.
-            theta0 = 0.1 * rng.random(size) + 1e-3
+            theta0 = 0.1 * gens[r].random(size) + 1e-3
+        inits.append(theta0)
 
-        def fun(x):
-            loss, grad = marginals_loss_and_grad(x, alg, delta)
-            return loss, grad
+    results = run_tasks(
+        _marginals_restart,
+        [(alg, delta, theta0, bounds, maxiter) for theta0 in inits],
+        workers=workers,
+        executor=executor,
+    )
+    idx = best_index([loss for loss, _ in results])
+    best_loss, best_theta = (np.inf, None) if idx is None else results[idx]
 
-        res = sopt.minimize(
-            fun,
-            theta0,
-            jac=True,
-            method="L-BFGS-B",
-            bounds=bounds,
-            options={"maxiter": maxiter},
-        )
-        # Re-evaluate at the solution: L-BFGS can report the objective of a
-        # rejected probe point when it aborts on a failed line search.
-        final_loss, _ = marginals_loss_and_grad(np.asarray(res.x), alg, delta)
-        if np.isfinite(final_loss) and final_loss < best_loss:
-            best_loss = float(final_loss)
-            best_theta = np.asarray(res.x)
+    # The full-contingency corner θ = e_full (the Identity strategy) lies
+    # in the search space but is separated from the uniform basin by a
+    # line-search barrier; evaluate it explicitly so OPT_M never returns a
+    # local minimum worse than Identity (mirrors opt_0's clamp).
+    corner = np.zeros(size)
+    corner[-1] = 1.0
+    corner_loss, _ = marginals_loss_and_grad(corner, alg, delta)
+    if np.isfinite(corner_loss) and corner_loss < best_loss:
+        best_loss, best_theta = float(corner_loss), corner
 
     if best_theta is None:
         # All restarts failed numerically: fall back to the uniform

@@ -26,7 +26,15 @@ def partition_products(W: Matrix, groups: int = 2) -> list[Matrix]:
     carry non-trivial (non-Total) predicate sets — so that structurally
     similar products share a strategy.  Signatures are bucketed into the
     requested number of groups round-robin by total query count.
+
+    The partition is memoized on ``W`` (per group count): OPT_+ re-derives
+    it on every restart, and reusing the same group *objects* lets their
+    cached factor Grams and decompositions persist across restarts.
     """
+    cache_key = f"partition_products_{groups}"
+    cached = W.cache_get(cache_key)
+    if cached is not None:
+        return cached
     terms = as_union_of_products(W)
     signatures: dict[tuple, list] = {}
     for w, factors in terms:
@@ -38,7 +46,15 @@ def partition_products(W: Matrix, groups: int = 2) -> list[Matrix]:
     ordered = sorted(signatures.values(), key=len, reverse=True)
     for idx, sig_terms in enumerate(ordered):
         buckets[idx % len(buckets)].extend(sig_terms)
-    return [union_kron(bucket) for bucket in buckets if bucket]
+    return W.cache_set(
+        cache_key, [union_kron(bucket) for bucket in buckets if bucket]
+    )
+
+
+def _opt_group(payload) -> OptResult:
+    """OPT_⊗ on one workload group (parallel engine task)."""
+    part, ps, seed, kron_kwargs = payload
+    return opt_kron(part, ps=ps, rng=seed, **kron_kwargs)
 
 
 def opt_union(
@@ -46,6 +62,8 @@ def opt_union(
     ps: list[int] | None = None,
     rng: np.random.Generator | int | None = None,
     groups: int = 2,
+    workers: int | None = 1,
+    executor: str = "auto",
     **kron_kwargs,
 ) -> OptResult:
     """OPT_+: optimize each workload group with OPT_⊗ and stack the results.
@@ -58,6 +76,11 @@ def opt_union(
     groups:
         Number of groups when partitioning automatically (the paper's
         instantiation uses two).
+    workers:
+        Maximum concurrent group optimizations.  Group ``j`` always
+        receives child seed ``j`` of the root ``rng``
+        (``SeedSequence.spawn``), so the result is identical for every
+        worker count given the same seed.
 
     Returns
     -------
@@ -65,10 +88,17 @@ def opt_union(
     products with total sensitivity 1, and whose ``loss`` is the
     budget-split error estimate ``l² Σ_j ‖W_j A_j⁺‖_F²``.
     """
-    rng = np.random.default_rng(rng)
+    from .parallel import run_tasks, spawn_seeds
+
     parts = W if isinstance(W, list) else partition_products(W, groups)
     l = len(parts)
-    results = [opt_kron(part, ps=ps, rng=rng, **kron_kwargs) for part in parts]
+    seeds = spawn_seeds(rng, l)
+    results = run_tasks(
+        _opt_group,
+        [(part, ps, seed, kron_kwargs) for part, seed in zip(parts, seeds)],
+        workers=workers,
+        executor=executor,
+    )
     # Scale each sensitivity-1 block by 1/l so the stack has sensitivity 1;
     # group j is then answered with noise scale l, inflating its squared
     # error by l².

@@ -21,7 +21,19 @@ def as_union_of_products(W: Matrix) -> UnionOfProducts:
     * ``VStack``    → concatenation of the blocks' decompositions;
     * anything else → a single-factor product ``[(1.0, [W])]`` (the 1-D
       case, where the workload itself is the only factor).
+
+    The decomposition is memoized on ``W`` (matrices are immutable):
+    strategy optimization re-derives it on every restart and every error
+    evaluation, so repeated calls return the cached term list.  Treat the
+    result as read-only.
     """
+    cached = W.cache_get("union_of_products")
+    if cached is None:
+        cached = W.cache_set("union_of_products", _decompose(W))
+    return cached
+
+
+def _decompose(W: Matrix) -> UnionOfProducts:
     if isinstance(W, Weighted):
         inner = as_union_of_products(W.base)
         return [(w * W.weight, factors) for w, factors in inner]
