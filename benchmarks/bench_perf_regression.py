@@ -17,9 +17,21 @@ regress against it:
   3-factor Kronecker product to a 64-column right-hand side at n = 4096,
   against the seed's per-column ``kmatvec`` loop (what ``Matrix.matmat``
   did before Kronecker gained a batched override).
+* **serving** (PR 2) — a batched 20-trial x 5-ε sweep on a
+  union-of-Kronecker strategy (``HDMM.run_batch``: one measurement
+  mat-vec, spawned per-trial noise, the structured two-term union Gram
+  inverse / batched CG, batched workload answering) against the
+  *seed-equivalent single-shot loop*: per-trial ``laplace_measure`` +
+  cold LSMR + ``answer_workload``, the code path the seed commit served
+  unions with.  Also records the post-PR single-shot loop (same solver,
+  one trial at a time) and the determinism contract: ``exact=True``
+  batched answers must be **bit-identical** to that loop at the same
+  spawned seeds.
 
 Run directly for the paper-style report; ``--quick`` shrinks restarts and
-repetitions for smoke runs; ``--json`` controls the output path.
+repetitions for smoke runs (and regresses the serving speedup against the
+previously recorded ``BENCH_PERF.json``); ``--json`` controls the output
+path.
 """
 
 from __future__ import annotations
@@ -132,6 +144,94 @@ def _timed(fn) -> float:
     return time.perf_counter() - t0
 
 
+def bench_serving(
+    n: int = 64, trials: int = 20, n_eps: int = 5, rng: int = 7
+) -> dict:
+    """Batched MEASURE+RECONSTRUCT sweep vs the seed single-shot loop."""
+    from scipy.sparse.linalg import LinearOperator, lsmr
+
+    from repro.core import HDMM, answer_workload, laplace_measure
+    from repro.optimize import opt_union
+    from repro.optimize.parallel import spawn_seeds
+    from repro.workload import range_total_union
+
+    W = range_total_union(n)  # (R x T) ∪ (T x R): the paper's union case
+    result = opt_union(W, rng=0)
+    A = result.strategy
+    mech = HDMM(restarts=1, rng=0)
+    mech.workload, mech.strategy, mech.result = W, A, result
+
+    x = np.random.default_rng(3).poisson(50, W.shape[1]).astype(float)
+    eps_grid = np.logspace(-1, 1, n_eps)
+    T = n_eps * trials
+    seeds = spawn_seeds(rng, T)
+    mech.run(x, 1.0, rng=0)  # warm the structural caches, as fit() leaves them
+
+    # Seed-equivalent single-shot loop: per-trial measure + cold LSMR (the
+    # seed's auto path for union strategies) + per-trial answering.
+    op = LinearOperator(
+        shape=A.shape, matvec=A.matvec, rmatvec=A.rmatvec, dtype=np.float64
+    )
+    with Timer() as t_seed:
+        seed_answers = np.stack(
+            [
+                answer_workload(
+                    W,
+                    lsmr(
+                        op,
+                        laplace_measure(A, x, eps_grid[j // trials], rng=seeds[j]),
+                        atol=1e-10,
+                        btol=1e-10,
+                    )[0],
+                )
+                for j in range(T)
+            ]
+        )
+
+    # Post-PR single-shot loop: same structured solver, one trial at a time.
+    with Timer() as t_loop:
+        loop_answers = np.stack(
+            [
+                mech.run(x, eps_grid[j // trials], rng=seeds[j])
+                for j in range(T)
+            ]
+        )
+
+    with Timer() as t_batch:
+        batch_answers = mech.run_batch(x, eps_grid, trials=trials, rng=rng)
+    with Timer() as t_exact:
+        exact_answers = mech.run_batch(
+            x, eps_grid, trials=trials, rng=rng, exact=True, warm_start=False
+        )
+
+    flat = batch_answers.reshape(T, -1)
+    scale = float(np.max(np.abs(loop_answers)))
+    return {
+        "workload": f"range-total-union-{n}",
+        "strategy": repr(A),
+        "domain": A.shape[1],
+        "trials": trials,
+        "eps_grid": [round(float(e), 4) for e in eps_grid],
+        "seed_loop_seconds": round(t_seed.elapsed, 4),
+        "single_shot_loop_seconds": round(t_loop.elapsed, 4),
+        "batch_seconds": round(t_batch.elapsed, 4),
+        "batch_exact_seconds": round(t_exact.elapsed, 4),
+        "speedup_vs_seed_loop": round(t_seed.elapsed / t_batch.elapsed, 2),
+        "speedup_vs_single_shot_loop": round(
+            t_loop.elapsed / t_batch.elapsed, 2
+        ),
+        "answers_bit_identical": bool(
+            np.array_equal(exact_answers.reshape(T, -1), loop_answers)
+        ),
+        "batch_max_rel_dev_vs_loop": float(
+            np.max(np.abs(flat - loop_answers)) / scale
+        ),
+        "batch_max_rel_dev_vs_seed_lsmr": float(
+            np.max(np.abs(flat - seed_answers)) / scale
+        ),
+    }
+
+
 def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> dict:
     if restarts is None:
         restarts = 2 if quick else 25
@@ -142,8 +242,34 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
         "cpu_count": os.cpu_count(),
         "opt_hdmm": bench_opt_hdmm(restarts=restarts, workers=workers),
         "kmatmat": bench_kmatmat(reps=reps),
+        "serving": bench_serving(n=32 if quick else 64,
+                                 trials=5 if quick else 20,
+                                 n_eps=3 if quick else 5),
     }
     return results
+
+
+def check_serving_regression(results: dict, json_path: str = DEFAULT_JSON) -> dict:
+    """Compare this run's serving speedup against the recorded trajectory.
+
+    Returns ``{recorded, current, ratio}`` (ratio < 1 means slower than
+    the recorded run); empty when no prior serving record exists.
+    """
+    try:
+        with open(json_path) as f:
+            previous = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    prev = previous.get("serving")
+    if not prev or "speedup_vs_seed_loop" not in prev:
+        return {}
+    recorded = float(prev["speedup_vs_seed_loop"])
+    current = float(results["serving"]["speedup_vs_seed_loop"])
+    return {
+        "recorded": recorded,
+        "current": current,
+        "ratio": round(current / recorded, 3) if recorded else None,
+    }
 
 
 def main() -> None:
@@ -179,6 +305,16 @@ def main() -> None:
                 f"{case['speedup']:.1f}x vs column loop",
             ]
         )
+    s = results["serving"]
+    rows += [
+        ["serving seed loop (LSMR)", f"{s['seed_loop_seconds']:.2f}s", ""],
+        ["serving single-shot loop", f"{s['single_shot_loop_seconds']:.2f}s", ""],
+        [
+            f"serving batch ({s['trials']}x{len(s['eps_grid'])}ε)",
+            f"{s['batch_seconds']:.3f}s",
+            f"{s['speedup_vs_seed_loop']:.1f}x vs seed loop",
+        ],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -189,6 +325,17 @@ def main() -> None:
         f"loss determinism workers=1 vs workers={h['workers']}: "
         f"{h['loss_deterministic']}"
     )
+    print(
+        "serving answers bit-identical to single-shot loop: "
+        f"{s['answers_bit_identical']}"
+    )
+    regression = check_serving_regression(results, args.json)
+    if regression:
+        print(
+            f"serving speedup vs recorded trajectory: {regression['current']:.1f}x "
+            f"now / {regression['recorded']:.1f}x recorded "
+            f"(ratio {regression['ratio']})"
+        )
 
     with open(args.json, "w") as f:
         json.dump(results, f, indent=2)
@@ -200,6 +347,22 @@ def test_bench_perf_regression_smoke():
     results = run(quick=True)
     assert results["opt_hdmm"]["loss_deterministic"]
     assert results["kmatmat"]["cases"]["prefix-identity-total"]["speedup"] > 1.0
+
+
+def test_bench_serving_smoke():
+    """Quick serving case: the batched sweep must keep its contracts —
+    bit-identical answers vs the single-shot loop, a clear win over the
+    seed path, and solver agreement with the seed's LSMR answers."""
+    s = bench_serving(n=32, trials=5, n_eps=3)
+    assert s["answers_bit_identical"]
+    assert s["speedup_vs_seed_loop"] > 3.0
+    assert s["batch_max_rel_dev_vs_seed_lsmr"] < 1e-6
+    # The committed trajectory must already carry a serving record with
+    # the acceptance-level speedup, so this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    assert recorded["serving"]["speedup_vs_seed_loop"] >= 3.0
+    assert recorded["serving"]["answers_bit_identical"]
 
 
 if __name__ == "__main__":

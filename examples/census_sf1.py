@@ -36,9 +36,17 @@ def main(plus: bool = False) -> None:
         ratio = np.sqrt(mech.squared_error(W) / result.loss)
         print(f"  {mech.name}: {ratio:.2f}x higher error than HDMM")
 
-    # Per-query expected RMSE at ε = 1 — the number an agency would quote.
-    rmse = np.sqrt(2.0 * result.loss / W.shape[0])
-    print(f"expected per-query RMSE at ε=1.0: {rmse:.1f} persons")
+    # Per-query expected RMSE across a whole ε grid — one vectorized call
+    # (strategy error is ε-independent, so the sweep costs one strategy
+    # evaluation).  An agency would quote these numbers when negotiating
+    # the privacy budget for the decennial release.
+    from repro.core import rootmse
+
+    eps_grid = np.array([0.1, 0.25, 0.5, 1.0, 2.0])
+    rmses = rootmse(W, result.strategy, eps_grid)
+    print("expected per-query RMSE (batched ε sweep):")
+    for e, r in zip(eps_grid, rmses):
+        print(f"  ε={e:5.2f}: {r:10.1f} persons")
 
 
 if __name__ == "__main__":

@@ -42,6 +42,20 @@ def main() -> None:
         ratio = np.sqrt(baseline.squared_error(W) / mech.result.loss)
         print(f"error ratio vs {baseline.name}: {ratio:.2f}x better")
 
+    # 5. Batched ε sweep — the serving engine answers a whole grid of
+    # (ε, noise-trial) pairs in one call: the strategy answers are
+    # computed once, each trial draws noise from its own spawned seed
+    # child, and all inferences are solved as one multi-RHS least
+    # squares.  The closed-form expected RMSE vectorizes over the same
+    # grid for comparison.
+    eps_grid = np.array([0.1, 0.5, 1.0, 2.0])
+    sweep = mech.run_batch(x, eps_grid, trials=8, rng=2)  # (4, 8, m)
+    emp = np.sqrt(((sweep - truth) ** 2).mean(axis=(1, 2)))
+    expected = mech.expected_rootmse(eps_grid)
+    print("\nbatched ε sweep (8 trials each):")
+    for e, emp_r, exp_r in zip(eps_grid, emp, expected):
+        print(f"  ε={e:4.1f}: empirical RMSE {emp_r:8.2f}   expected {exp_r:8.2f}")
+
 
 if __name__ == "__main__":
     main()

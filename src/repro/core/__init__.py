@@ -11,23 +11,44 @@ from .error import (
     workload_marginal_traces,
 )
 from .hdmm import HDMM
-from .measure import laplace_measure, laplace_noise, measurement_variance
+from .measure import (
+    laplace_measure,
+    laplace_measure_batch,
+    laplace_noise,
+    measurement_variance,
+)
 from .privacy import PrivacyLedger, sensitivity_of
-from .reconstruct import answer_workload, least_squares
+from .reconstruct import (
+    DENSE_PINV_LIMIT,
+    answer_workload,
+    has_structured_pinv,
+    least_squares,
+    resolves_to_direct,
+    resolves_to_pinv,
+)
+from .solvers import CGResult, cg_gram_solve, union_gram_inverse
 
 __all__ = [
+    "CGResult",
+    "DENSE_PINV_LIMIT",
     "HDMM",
     "PrivacyLedger",
     "answer_workload",
+    "cg_gram_solve",
     "error_ratio",
     "expected_error",
     "gram_inverse_trace",
+    "has_structured_pinv",
     "laplace_mechanism_error",
     "laplace_measure",
+    "laplace_measure_batch",
     "laplace_noise",
     "least_squares",
     "measurement_variance",
+    "resolves_to_direct",
+    "resolves_to_pinv",
     "rootmse",
+    "union_gram_inverse",
     "sensitivity_of",
     "squared_error",
     "supports",

@@ -143,14 +143,28 @@ def squared_error(W: Matrix, A: Matrix) -> float:
     return _dense_error(W, A)
 
 
-def expected_error(W: Matrix, A: Matrix, eps: float = 1.0) -> float:
-    """Definition 7 in full: ``(2/ε²) · ‖A‖₁² · ‖W A⁺‖_F²``."""
-    return 2.0 / eps**2 * squared_error(W, A)
+def expected_error(
+    W: Matrix, A: Matrix, eps: float | np.ndarray = 1.0
+) -> float | np.ndarray:
+    """Definition 7 in full: ``(2/ε²) · ‖A‖₁² · ‖W A⁺‖_F²``.
+
+    Vectorized over ε: an array of budgets returns the error at each one
+    with a single strategy-error evaluation (``squared_error`` is
+    ε-independent) — the closed-form half of a batched ε sweep.
+    """
+    eps_arr = np.asarray(eps, dtype=np.float64)
+    if np.any(eps_arr <= 0):
+        raise ValueError("privacy budget eps must be positive")
+    out = 2.0 / eps_arr**2 * squared_error(W, A)
+    return float(out) if eps_arr.ndim == 0 else out
 
 
-def rootmse(W: Matrix, A: Matrix, eps: float = 1.0) -> float:
-    """Root mean squared error per workload query."""
-    return math.sqrt(expected_error(W, A, eps) / W.shape[0])
+def rootmse(
+    W: Matrix, A: Matrix, eps: float | np.ndarray = 1.0
+) -> float | np.ndarray:
+    """Root mean squared error per workload query (vectorized over ε)."""
+    out = np.sqrt(np.asarray(expected_error(W, A, eps)) / W.shape[0])
+    return float(out) if np.ndim(eps) == 0 else out
 
 
 def error_ratio(W: Matrix, other: Matrix, baseline: Matrix) -> float:

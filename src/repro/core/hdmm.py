@@ -12,10 +12,19 @@
 Strategy selection is data-independent: ``HDMM.fit`` can be run once per
 workload and the fitted mechanism reused across datasets and ε values
 (Section 3.6 — the Census SF1 workload changes only every 10 years).
+That reuse is the serving hot path: :meth:`HDMM.run_batch` answers a
+whole grid of (ε, noise-trial) pairs — or a batch of data vectors — in
+one pass, computing the strategy answers once, drawing per-trial noise
+from spawned seed children, solving all inferences as one multi-RHS
+least squares (warm-started across adjacent ε values), and answering the
+workload with batched mat-mats.
 
 Privacy (Theorem 7): ImpVec and OPT_HDMM never touch the data; the only
 data access is the Laplace measurement, and everything after it is
-post-processing, so HDMM is ε-differentially private.
+post-processing, so each trial of the mechanism is ε-differentially
+private for its own ε.  (Running many trials composes: a 20-trial sweep
+spends the sum of its budgets — budget accounting is the caller's
+responsibility, e.g. via :class:`~repro.core.privacy.PrivacyLedger`.)
 """
 
 from __future__ import annotations
@@ -24,10 +33,12 @@ import numpy as np
 
 from ..linalg import Matrix
 from ..optimize import OptResult, opt_hdmm
+from ..optimize.parallel import spawn_seeds
 from ..workload.logical import LogicalWorkload, implicit_vectorize
 from .error import expected_error, rootmse
-from .measure import laplace_measure
-from .reconstruct import answer_workload, least_squares
+from .measure import laplace_measure, laplace_measure_batch
+from .reconstruct import answer_workload, least_squares, resolves_to_direct
+from .solvers import validate_positive_int
 
 
 class HDMM:
@@ -46,7 +57,8 @@ class HDMM:
     >>> from repro import workload as wl
     >>> mech = HDMM(restarts=3, rng=0)
     >>> mech.fit(wl.prefix_1d(64))
-    >>> answers = mech.run(x, eps=1.0, rng=7)   # doctest: +SKIP
+    >>> answers = mech.run(x, eps=1.0, rng=7)             # doctest: +SKIP
+    >>> sweep = mech.run_batch(x, eps=[0.1, 1.0], trials=20, rng=7)  # doctest: +SKIP
     """
 
     def __init__(
@@ -82,27 +94,150 @@ class HDMM:
         eps: float,
         rng: np.random.Generator | int | None = None,
         return_data_vector: bool = False,
+        **solver_kwargs,
     ):
         """Answer the fitted workload on data vector ``x`` under ε-DP.
 
         Returns the noisy workload answers; with
         ``return_data_vector=True`` also returns the inferred x̄.
+        Extra keyword arguments are forwarded to
+        :func:`~repro.core.reconstruct.least_squares`.
         """
         A = self._require_fitted()
         y = laplace_measure(A, x, eps, rng)
-        x_hat = least_squares(A, y)
+        x_hat = least_squares(A, y, **solver_kwargs)
         answers = answer_workload(self.workload, x_hat)
         if return_data_vector:
             return answers, x_hat
         return answers
 
+    def run_batch(
+        self,
+        x: np.ndarray,
+        eps: float | np.ndarray = 1.0,
+        trials: int = 1,
+        rng: np.random.Generator | int | None = None,
+        method: str = "auto",
+        warm_start: bool = True,
+        exact: bool = False,
+        return_data_vector: bool = False,
+        **solver_kwargs,
+    ):
+        """Batched serving: answer a grid of (ε, trial) pairs in one pass.
+
+        Two modes, chosen by the shape of ``x``:
+
+        * **sweep** — ``x`` is one data vector (length n).  The trial grid
+          is ``len(eps_grid) x trials``; the strategy answers ``Ax`` are
+          computed once, trial ``(e, r)`` adds noise from seed child
+          ``e * trials + r`` of ``rng``, and all inferences are solved as
+          multi-RHS least squares — warm-started block-by-block across
+          the ε grid (pass the grid in sweep order: adjacent ε values
+          hand their solutions to the next block as ``x0``).  Returns
+          answers of shape ``(len(eps_grid), trials, m)``; a scalar
+          ``eps`` gives grid length 1.
+        * **paired** — ``x`` is a batch of data vectors (n x t) paired
+          with a scalar or length-t ``eps``; ``trials`` must be 1.
+          Returns answers of shape ``(t, m)``.
+
+        Determinism contract (mirrors ``optimize/parallel.py``): noise is
+        assigned by flat trial index via ``SeedSequence.spawn``, so the
+        measurements are bit-identical to the sequential loop ::
+
+            seeds = spawn_seeds(rng, T)
+            [self.run(x, eps[j], rng=seeds[j]) for j in range(T)]
+
+        for any batch composition — and with ``exact=True`` and
+        ``warm_start=False`` the *answers* are too, because every
+        operator is then applied one contiguous column at a time (the
+        same arithmetic as the loop, different orchestration).  The
+        default fast mode (``exact=False``) batches the BLAS width and
+        agrees with the loop to solver tolerance.
+
+        Privacy: each trial is ε-DP for its own budget; a full sweep
+        spends the sum of its trials' budgets under sequential
+        composition.
+
+        Returns the answers array; with ``return_data_vector=True`` a
+        ``(answers, x_hat)`` pair where ``x_hat`` carries the same
+        leading grid axes over data vectors of length n.
+        """
+        A = self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        eps_arr = np.atleast_1d(np.asarray(eps, dtype=np.float64))
+        if eps_arr.ndim != 1:
+            raise ValueError(f"eps must be a scalar or 1-D grid, got {eps_arr.shape}")
+        if np.any(eps_arr <= 0):
+            raise ValueError("privacy budget eps must be positive")
+        trials = validate_positive_int("trials", trials)
+
+        if x.ndim == 2:
+            if trials != 1:
+                raise ValueError(
+                    "trials > 1 requires a single shared data vector; got a "
+                    f"(n, {x.shape[1]}) batch with trials={trials}"
+                )
+            Y = laplace_measure_batch(A, x, eps_arr, rng=rng, columnwise=exact)
+            X_hat = least_squares(
+                A, Y, method=method, columnwise=exact, **solver_kwargs
+            )
+            answers = answer_workload(self.workload, X_hat, columnwise=exact).T
+            if return_data_vector:
+                return answers, X_hat.T
+            return answers
+        if x.ndim != 1:
+            raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+
+        k = eps_arr.size
+        T = k * trials
+        eps_flat = np.repeat(eps_arr, trials)  # flat trial j = e * trials + r
+        Y = laplace_measure_batch(A, x, eps_flat, rng=rng, columnwise=exact)
+
+        if warm_start and k > 1 and not resolves_to_direct(
+            A, method, solver_kwargs.get("dense_pinv_limit")
+        ):
+            # Solve ε-block by ε-block, seeding each block's iterative
+            # solve with the previous ε's solutions (same trial index).
+            X_hat = np.empty((A.shape[1], T))
+            prev: np.ndarray | None = None
+            for e in range(k):
+                block = slice(e * trials, (e + 1) * trials)
+                prev = least_squares(
+                    A,
+                    Y[:, block],
+                    method=method,
+                    x0=prev,
+                    columnwise=exact,
+                    **solver_kwargs,
+                )
+                X_hat[:, block] = prev
+        else:
+            X_hat = least_squares(
+                A, Y, method=method, columnwise=exact, **solver_kwargs
+            )
+
+        answers = answer_workload(self.workload, X_hat, columnwise=exact)
+        answers = answers.T.reshape(k, trials, self.workload.shape[0])
+        if return_data_vector:
+            return answers, X_hat.T.reshape(k, trials, A.shape[1])
+        return answers
+
+    def measure_seeds(
+        self, total: int, rng: np.random.Generator | int | None = None
+    ) -> list[np.random.SeedSequence]:
+        """The per-trial seed children :meth:`run_batch` uses for a grid of
+        ``total`` trials — for reproducing any single trial standalone."""
+        return spawn_seeds(rng, total)
+
     # -- diagnostics ---------------------------------------------------------
-    def expected_error(self, eps: float = 1.0) -> float:
-        """Definition 7 expected total squared error of the fitted strategy."""
+    def expected_error(self, eps: float | np.ndarray = 1.0) -> float | np.ndarray:
+        """Definition 7 expected total squared error of the fitted strategy
+        (vectorized over an ε grid)."""
         self._require_fitted()
         return expected_error(self.workload, self.strategy, eps)
 
-    def expected_rootmse(self, eps: float = 1.0) -> float:
-        """Per-query root mean squared error of the fitted strategy."""
+    def expected_rootmse(self, eps: float | np.ndarray = 1.0) -> float | np.ndarray:
+        """Per-query root mean squared error of the fitted strategy
+        (vectorized over an ε grid)."""
         self._require_fitted()
         return rootmse(self.workload, self.strategy, eps)

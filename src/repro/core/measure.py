@@ -8,6 +8,21 @@ which is ε-differentially private because ``‖A‖₁`` (the maximum absolute
 column sum) equals the L1 sensitivity of the strategy query set: one
 record added to or removed from the database changes each column of the
 answer vector by at most that column's absolute sum.
+
+Serving batches: every experiment (and any deployment of a fitted
+strategy) measures the *same* strategy across many noise trials, ε
+values, and data vectors.  :func:`laplace_measure_batch` answers a whole
+trial grid in one call — the strategy answers are computed once per
+distinct data vector, and the noise for trial ``j`` is drawn from child
+``j`` of the caller's seed (``SeedSequence.spawn``).  The determinism
+contract mirrors ``optimize/parallel.py``: the batched measurements are
+bit-identical to the sequential loop ::
+
+    seeds = spawn_seeds(rng, T)
+    [laplace_measure(A, x_j, eps_j, rng=seeds[j]) for j in range(T)]
+
+for any batch composition, because randomness is assigned by trial index
+and the noise-free answers are computed by the same mat-vec.
 """
 
 from __future__ import annotations
@@ -15,18 +30,38 @@ from __future__ import annotations
 import numpy as np
 
 from ..linalg import Matrix
+from ..optimize.parallel import spawn_seeds
+from .solvers import apply_columnwise, validate_positive_int
 
 
 def laplace_noise(
-    scale: float, size: int, rng: np.random.Generator | int | None = None
+    scale: float | np.ndarray,
+    size: int,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
-    """Draw ``size`` i.i.d. Laplace(0, scale) samples."""
-    rng = np.random.default_rng(rng)
-    if scale < 0:
+    """Draw i.i.d. Laplace(0, scale) samples.
+
+    A scalar ``scale`` returns ``size`` draws from a single stream — the
+    single-shot path.  An array of per-trial scales (length T) returns a
+    ``(size, T)`` matrix whose column ``j`` is drawn from child ``j`` of
+    ``rng`` via ``SeedSequence.spawn``, so the batch is bit-identical to
+    looping the scalar call with the spawned seeds, for any T.
+    """
+    scales = np.asarray(scale, dtype=np.float64)
+    if np.any(scales < 0):
         raise ValueError("noise scale must be non-negative")
-    if scale == 0:
-        return np.zeros(size)
-    return rng.laplace(0.0, scale, size)
+    if scales.ndim == 0:
+        rng = np.random.default_rng(rng)
+        if scales == 0:
+            return np.zeros(size)
+        return rng.laplace(0.0, float(scales), size)
+    if scales.ndim != 1:
+        raise ValueError(f"scale must be a scalar or 1-D array, got {scales.shape}")
+    out = np.zeros((size, scales.size))
+    for j, seed in enumerate(spawn_seeds(rng, scales.size)):
+        if scales[j] > 0:
+            out[:, j] = np.random.default_rng(seed).laplace(0.0, scales[j], size)
+    return out
 
 
 def laplace_measure(
@@ -46,6 +81,84 @@ def laplace_measure(
     return answers + laplace_noise(scale, answers.shape[0], rng)
 
 
-def measurement_variance(A: Matrix, eps: float) -> float:
-    """Per-measurement noise variance ``2(‖A‖₁/ε)²``."""
-    return 2.0 * (A.sensitivity() / eps) ** 2
+def laplace_measure_batch(
+    A: Matrix,
+    x: np.ndarray,
+    eps: float | np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    trials: int | None = None,
+    columnwise: bool = False,
+) -> np.ndarray:
+    """A batch of ε-DP measurements ``Y[:, j] = A x_j + Lap(‖A‖₁/ε_j)``.
+
+    Parameters
+    ----------
+    x:
+        Either one shared data vector (length n) — its strategy answers
+        are computed once and reused for every trial — or a batch of data
+        vectors as columns (n x T).
+    eps:
+        A scalar budget shared by all trials or per-trial budgets
+        (length T).
+    trials:
+        Explicit trial count; required only when both ``x`` and ``eps``
+        are unbatched.  Batched arguments must agree with it.
+    rng:
+        Root seed; trial ``j`` draws its noise from child ``j``
+        (``SeedSequence.spawn``) — see the module docstring for the
+        bitwise determinism contract.
+    columnwise:
+        With a 2-D ``x``, compute strategy answers one contiguous column
+        at a time (bit-identical to the sequential loop) instead of one
+        batched ``matmat``.
+
+    Returns
+    -------
+    The measurement matrix Y, shape (m, T).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    eps_arr = np.asarray(eps, dtype=np.float64)
+    if np.any(eps_arr <= 0):
+        raise ValueError("privacy budget eps must be positive")
+    if eps_arr.ndim > 1:
+        raise ValueError(f"eps must be a scalar or 1-D array, got {eps_arr.shape}")
+    if trials is not None:
+        trials = validate_positive_int("trials", trials)
+
+    t_x = x.shape[1] if x.ndim == 2 else None
+    t_e = eps_arr.size if eps_arr.ndim == 1 else None
+    sizes = {int(s) for s in (t_x, t_e, trials) if s is not None}
+    if len(sizes - {1}) > 1:  # length-1 batch axes broadcast
+        raise ValueError(
+            f"inconsistent trial counts: x gives {t_x}, eps gives {t_e}, "
+            f"trials gives {trials}"
+        )
+    T = max(sizes) if sizes else 1
+
+    if x.ndim == 1:
+        if x.shape != (A.shape[1],):
+            raise ValueError(
+                f"data vector must have length {A.shape[1]}, got {x.shape}"
+            )
+        answers = A.matvec(x)[:, None]  # one mat-vec, shared by all trials
+    elif x.ndim == 2:
+        if x.shape[0] != A.shape[1]:
+            raise ValueError(
+                f"data vectors must have length {A.shape[1]}, got {x.shape}"
+            )
+        if columnwise:
+            answers = apply_columnwise(A.matvec, x, A.shape[0])
+        else:
+            answers = A.matmat(x)
+    else:
+        raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
+
+    scales = np.broadcast_to(A.sensitivity() / eps_arr, (T,))
+    return answers + laplace_noise(np.ascontiguousarray(scales), A.shape[0], rng)
+
+
+def measurement_variance(A: Matrix, eps: float | np.ndarray) -> float | np.ndarray:
+    """Per-measurement noise variance ``2(‖A‖₁/ε)²`` (vectorized over ε)."""
+    eps_arr = np.asarray(eps, dtype=np.float64)
+    out = 2.0 * (A.sensitivity() / eps_arr) ** 2
+    return float(out) if eps_arr.ndim == 0 else out

@@ -5,12 +5,19 @@ squares estimate ``x̄ = A⁺y`` and the workload answers ``W x̄``.  HDMM
 never materializes A or A⁺:
 
 * product strategies — ``(A1 ⊗ ... ⊗ Ad)⁺ = A1⁺ ⊗ ... ⊗ Ad⁺`` applied by
-  the Kronecker mat-vec (Algorithm 1);
+  the Kronecker mat-vec/mat-mat (Algorithm 1);
 * marginal strategies — ``M⁺ = (MᵀM)⁺Mᵀ`` with the Gram inverse computed
   in the O(4^d) marginals algebra;
 * union-of-product strategies — no structured pseudo-inverse exists, so
-  the least squares problem is solved iteratively with LSMR, which only
-  needs mat-vec products with A and Aᵀ.
+  the normal equations ``(AᵀA) x̄ = Aᵀy`` are solved by conjugate
+  gradients (:mod:`repro.core.solvers`) with the strategy's *cached* Gram
+  operator as the iteration operator; LSMR remains as the fallback for
+  columns CG cannot converge and as an independent cross-check.
+
+Every solve accepts a whole batch of right-hand sides: structured
+pseudo-inverses are applied through ``matmat``/``kmatmat`` rather than
+one ``matvec`` per column, and the CG solver advances all columns of a
+sweep per iteration.
 """
 
 from __future__ import annotations
@@ -20,16 +27,105 @@ from scipy.sparse.linalg import LinearOperator, lsmr
 
 from ..linalg import Kronecker, MarginalsStrategy, Matrix, VStack, Weighted
 from ..optimize.opt0 import PIdentity
+from .solvers import (
+    apply_columnwise as _apply_columnwise,
+    cg_gram_solve,
+    union_gram_inverse,
+    validate_maxiter,
+    validate_tolerance,
+)
+
+#: Largest min(m, n) for which an unstructured matrix is considered small
+#: enough for a dense pseudo-inverse on the ``method="auto"`` path.
+#: Override per call via ``least_squares(..., dense_pinv_limit=...)``.
+DENSE_PINV_LIMIT = 4096
 
 
-def _has_structured_pinv(A: Matrix) -> bool:
+def _resolve_dense_limit(dense_pinv_limit: int | None) -> int:
+    if dense_pinv_limit is None:
+        return DENSE_PINV_LIMIT
+    if (
+        isinstance(dense_pinv_limit, bool)
+        or not isinstance(dense_pinv_limit, (int, np.integer))
+        or dense_pinv_limit < 0
+    ):
+        raise ValueError(
+            "dense_pinv_limit must be a non-negative integer or None, "
+            f"got {dense_pinv_limit!r}"
+        )
+    return int(dense_pinv_limit)
+
+
+def has_structured_pinv(A: Matrix, dense_pinv_limit: int | None = None) -> bool:
+    """Whether ``A⁺`` has a structured (or affordable dense) form."""
+    limit = _resolve_dense_limit(dense_pinv_limit)
+    return _has_structured_pinv(A, limit)
+
+
+def _has_structured_pinv(A: Matrix, limit: int) -> bool:
     if isinstance(A, (MarginalsStrategy, PIdentity)):
         return True
     if isinstance(A, Weighted):
-        return _has_structured_pinv(A.base)
+        return _has_structured_pinv(A.base, limit)
     if isinstance(A, Kronecker):
-        return all(_has_structured_pinv(f) or min(f.shape) <= 4096 for f in A.factors)
-    return min(A.shape) <= 4096  # small enough for a dense pseudo-inverse
+        return all(
+            _has_structured_pinv(f, limit) or min(f.shape) <= limit
+            for f in A.factors
+        )
+    return min(A.shape) <= limit  # small enough for a dense pseudo-inverse
+
+
+def resolves_to_pinv(
+    A: Matrix, method: str = "auto", dense_pinv_limit: int | None = None
+) -> bool:
+    """Whether :func:`least_squares` would take the pseudo-inverse path
+    for this strategy/method combination.  Forcing ``method="pinv"`` on a
+    :class:`VStack` union raises in :func:`least_squares`, so that
+    combination does not *resolve* to the pinv path."""
+    if method == "pinv":
+        return not isinstance(A, VStack)
+    return (
+        method == "auto"
+        and not isinstance(A, VStack)
+        and has_structured_pinv(A, dense_pinv_limit)
+    )
+
+
+def resolves_to_direct(
+    A: Matrix, method: str = "auto", dense_pinv_limit: int | None = None
+) -> bool:
+    """Whether :func:`least_squares` would solve directly (structured
+    pseudo-inverse or the two-term union Gram inverse) — i.e. warm starts
+    and iteration caps are irrelevant for this strategy/method pair."""
+    if resolves_to_pinv(A, method, dense_pinv_limit):
+        return True
+    return method == "auto" and union_gram_inverse(A) is not None
+
+
+def _lsmr_columns(
+    A: Matrix,
+    Y: np.ndarray,
+    X: np.ndarray,
+    columns,
+    atol: float,
+    btol: float,
+    maxiter: int | None,
+    x0: np.ndarray | None,
+) -> None:
+    """Solve the selected columns with LSMR, writing into ``X`` in place."""
+    op = LinearOperator(
+        shape=A.shape, matvec=A.matvec, rmatvec=A.rmatvec, dtype=np.float64
+    )
+    for j in columns:
+        start = None if x0 is None else np.ascontiguousarray(x0[:, j])
+        X[:, j] = lsmr(
+            op,
+            np.ascontiguousarray(Y[:, j]),
+            atol=atol,
+            btol=btol,
+            maxiter=maxiter,
+            x0=start,
+        )[0]
 
 
 def least_squares(
@@ -39,33 +135,143 @@ def least_squares(
     atol: float = 1e-10,
     btol: float = 1e-10,
     maxiter: int | None = None,
+    rtol: float = 1e-11,
+    x0: np.ndarray | None = None,
+    dense_pinv_limit: int | None = None,
+    columnwise: bool | None = None,
 ) -> np.ndarray:
     """Solve ``min_x ‖Ax - y‖₂`` using the strategy's structure.
 
     Parameters
     ----------
+    y:
+        One right-hand side (length m) or a batch as columns (m x T).
+        A 1-D input returns a 1-D solution; a 2-D input returns (n, T).
     method:
-        ``"auto"`` (structured pseudo-inverse when available, else LSMR),
-        ``"pinv"`` (force the structured/dense pseudo-inverse), or
-        ``"lsmr"`` (force the iterative solver).
+        ``"auto"`` (structured pseudo-inverse when available, else CG on
+        the normal equations with LSMR fallback), ``"pinv"`` (force the
+        structured/dense pseudo-inverse), ``"cg"`` (force the
+        normal-equations solver), or ``"lsmr"`` (force per-column LSMR).
+    atol, btol:
+        LSMR stopping tolerances (fallback and ``method="lsmr"``).
+    maxiter:
+        Iteration cap for the iterative solvers (``None`` = solver
+        default).
+    rtol:
+        CG stopping criterion on the normal-equations residual,
+        ``‖AᵀA x - Aᵀy‖₂ <= rtol · ‖Aᵀy‖₂`` per column.
+    x0:
+        Warm start for the iterative solvers, shape (n,) or (n, T) —
+        ε sweeps pass the previous ε's solutions here.  Ignored by the
+        pseudo-inverse path.
+    dense_pinv_limit:
+        Override of :data:`DENSE_PINV_LIMIT` for this call.
+    columnwise:
+        Apply operators one contiguous column at a time so a batched
+        solve is bit-identical to looping the columns (the serving
+        determinism contract).  Defaults to True for 1-D ``y`` (where it
+        is the natural path) and False for batches (BLAS-width
+        throughput; answers then agree with the loop to solver
+        tolerance).
+
+    Raises
+    ------
+    ValueError
+        If ``method="pinv"`` is forced for a :class:`VStack` union
+        strategy — no structured pseudo-inverse exists for a union, and
+        silently falling through to an iterative solver would misreport
+        how the estimate was computed.
     """
     y = np.asarray(y, dtype=np.float64)
-    if y.shape != (A.shape[0],):
-        raise ValueError(f"y must have length {A.shape[0]}, got {y.shape}")
-    if method not in ("auto", "pinv", "lsmr"):
+    single = y.ndim == 1
+    if columnwise is None:
+        columnwise = single
+    Y = y[:, None] if single else y
+    if Y.ndim != 2 or Y.shape[0] != A.shape[0]:
+        raise ValueError(
+            f"y must have shape ({A.shape[0]},) or ({A.shape[0]}, T), got {y.shape}"
+        )
+    if method not in ("auto", "pinv", "cg", "lsmr"):
         raise ValueError(f"unknown method {method!r}")
+    atol = validate_tolerance("atol", atol)
+    btol = validate_tolerance("btol", btol)
+    rtol = validate_tolerance("rtol", rtol)
+    maxiter = validate_maxiter(maxiter)
+    if x0 is not None:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim == 1:
+            x0 = x0[:, None]
+        if x0.shape[0] != A.shape[1] or x0.shape[1] not in (1, Y.shape[1]):
+            raise ValueError(
+                f"x0 must have shape ({A.shape[1]},) or ({A.shape[1]}, "
+                f"{Y.shape[1]}), got {x0.shape}"
+            )
+        x0 = np.array(
+            np.broadcast_to(x0, (A.shape[1], Y.shape[1])), dtype=np.float64
+        )
 
-    use_pinv = method == "pinv" or (method == "auto" and _has_structured_pinv(A))
-    if use_pinv and not isinstance(A, VStack):
-        return A.pinv().matvec(y)
+    if method == "pinv" and isinstance(A, VStack):
+        raise ValueError(
+            "method='pinv' is not available for VStack (union) strategies: "
+            "no structured pseudo-inverse exists for a union of products; "
+            "use method='auto', 'cg', or 'lsmr'"
+        )
 
-    op = LinearOperator(
-        shape=A.shape, matvec=A.matvec, rmatvec=A.rmatvec, dtype=np.float64
+    if resolves_to_pinv(A, method, dense_pinv_limit):
+        P = A.pinv()
+        if columnwise:
+            X = _apply_columnwise(P.matvec, Y, A.shape[1])
+        else:
+            X = P.matmat(Y)
+        return X[:, 0] if single else X
+
+    if method == "lsmr":
+        X = np.empty((A.shape[1], Y.shape[1]))
+        _lsmr_columns(A, Y, X, range(Y.shape[1]), atol, btol, maxiter, x0)
+        return X[:, 0] if single else X
+
+    # Normal equations ``(AᵀA) x̄ = Aᵀy`` with the cached Gram operator.
+    if columnwise:
+        B = _apply_columnwise(A.rmatvec, Y, A.shape[1])
+    else:
+        B = A.rmatmat(Y)
+
+    if method == "auto":
+        # Two-term unions (the paper's OPT_+ output) have an exact
+        # structured Gram inverse — two Kronecker mat-mats per solve.
+        Ginv = union_gram_inverse(A)
+        if Ginv is not None:
+            if columnwise:
+                X = _apply_columnwise(Ginv.matvec, B, A.shape[1])
+            else:
+                X = Ginv.matmat(B)
+            return X[:, 0] if single else X
+
+    # CG (method "cg" or the general "auto" fallback), then LSMR for any
+    # column CG could not converge.
+    result = cg_gram_solve(
+        A.gram(), B, x0=x0, rtol=rtol, maxiter=maxiter, columnwise=columnwise
     )
-    result = lsmr(op, y, atol=atol, btol=btol, maxiter=maxiter)
-    return result[0]
+    X = result.x
+    if not result.converged.all():
+        _lsmr_columns(
+            A, Y, X, np.flatnonzero(~result.converged), atol, btol, maxiter, X
+        )
+    return X[:, 0] if single else X
 
 
-def answer_workload(W: Matrix, x_hat: np.ndarray) -> np.ndarray:
-    """Final RECONSTRUCT step: the workload answers ``W x̄``."""
-    return W.matvec(np.asarray(x_hat, dtype=np.float64))
+def answer_workload(
+    W: Matrix, x_hat: np.ndarray, columnwise: bool = False
+) -> np.ndarray:
+    """Final RECONSTRUCT step: the workload answers ``W x̄``.
+
+    Accepts a single data-vector estimate (length n) or a batch as
+    columns (n x T).  ``columnwise=True`` answers one contiguous column
+    at a time — bit-identical to looping :meth:`Matrix.matvec`.
+    """
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    if x_hat.ndim == 1:
+        return W.matvec(x_hat)
+    if columnwise:
+        return _apply_columnwise(W.matvec, x_hat, W.shape[0])
+    return W.matmat(x_hat)

@@ -1,0 +1,335 @@
+"""Structured normal-equation solvers for batched RECONSTRUCT (Section 7.2).
+
+The serving loop answers the *same* fitted strategy across many trials and
+ε values.  For union strategies — where no structured pseudo-inverse
+exists — the least squares problem ``min_x ‖Ax - y‖₂`` is equivalent to
+the normal equations ``(AᵀA) x = Aᵀy``, and the Gram operator ``AᵀA`` is
+already memoized on the strategy instance (PR 1's structural cache).  The
+conjugate-gradient solver here uses that cached Gram as its iteration
+operator, solves a whole batch of right-hand sides at once, and accepts
+warm starts so adjacent ε values in a sweep reuse each other's solutions.
+
+Batch determinism contract (mirrors ``optimize/parallel.py``): every
+per-column quantity is computed with arithmetic that does not depend on
+which other columns share the batch — step scalars are per-column einsum
+reductions, updates are elementwise, and converged columns are frozen.
+The one width-sensitive operation is the operator application itself:
+BLAS matmat results are *not* bit-identical across batch widths, so
+
+* ``columnwise=True`` applies the Gram one contiguous column at a time —
+  a width-T solve is then bit-identical to T independent width-1 solves
+  (and hence to the sequential single-shot serving loop);
+* ``columnwise=False`` (default) applies one ``matmat`` per iteration to
+  every active column — maximum BLAS throughput, results agree with the
+  looped solve to solver tolerance rather than bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg import Diagonal, Kronecker, Matrix, VStack, Weighted
+from ..linalg.base import Dense
+
+__all__ = [
+    "CGResult",
+    "KRON_FACTOR_LIMIT",
+    "apply_columnwise",
+    "cg_gram_solve",
+    "union_gram_inverse",
+    "validate_maxiter",
+    "validate_positive_int",
+    "validate_tolerance",
+]
+
+#: Largest square Kronecker-factor Gram that the two-term union solver
+#: will densify and eigendecompose (cost O(n_i³) per factor, once per
+#: fitted strategy).
+KRON_FACTOR_LIMIT = 1024
+
+
+def validate_maxiter(maxiter: int | None) -> int | None:
+    """Check a ``maxiter`` argument: ``None`` or a positive integer."""
+    if maxiter is None:
+        return None
+    if (
+        isinstance(maxiter, bool)
+        or not isinstance(maxiter, (int, np.integer))
+        or maxiter <= 0
+    ):
+        raise ValueError(
+            f"maxiter must be a positive integer or None, got {maxiter!r}"
+        )
+    return int(maxiter)
+
+
+def validate_positive_int(name: str, value) -> int:
+    """Check an argument that must be a positive integer (e.g. ``trials``)."""
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, np.integer))
+        or value <= 0
+    ):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def validate_tolerance(name: str, value: float) -> float:
+    """Check a solver tolerance: a finite, non-negative float."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(v) or v < 0:
+        raise ValueError(f"{name} must be finite and non-negative, got {value!r}")
+    return v
+
+
+def apply_columnwise(apply_vec, Y: np.ndarray, out_rows: int) -> np.ndarray:
+    """Apply a vector operation to each contiguous column of ``Y``.
+
+    The building block of the bitwise-determinism contract: the per-column
+    arithmetic (contiguous input, single mat-vec) is exactly what the
+    sequential single-shot loop performs, independent of batch width.
+    """
+    out = np.empty((out_rows, Y.shape[1]))
+    for j in range(Y.shape[1]):
+        out[:, j] = apply_vec(np.ascontiguousarray(Y[:, j]))
+    return out
+
+
+def _kron_gram_factor_mats(block: Matrix) -> list[np.ndarray] | None:
+    """Dense square factor Grams of a block's ``AᵀA``, scalar weights
+    folded into the first factor; ``None`` when the block's Gram is not a
+    (weighted) Kronecker product of affordable square factors."""
+    gram = block.gram()
+    weight = 1.0
+    while isinstance(gram, Weighted):
+        weight *= gram.weight
+        gram = gram.base
+    if isinstance(gram, Kronecker):
+        factors = gram.factors
+    elif min(gram.shape) <= KRON_FACTOR_LIMIT:
+        factors = [gram]
+    else:
+        return None
+    mats = []
+    for f in factors:
+        m, n = f.shape
+        if m != n or n > KRON_FACTOR_LIMIT:
+            return None
+        mats.append(np.asarray(f.dense(), dtype=np.float64))
+    mats[0] = weight * mats[0]
+    return mats
+
+
+def union_gram_inverse(A: Matrix) -> Matrix | None:
+    """Exact structured inverse of ``AᵀA`` for a union of two products.
+
+    The paper's OPT_+ instantiation partitions the workload into *two*
+    groups, so the canonical union strategy is a :class:`VStack` of two
+    weighted Kronecker products and its Gram is a two-term Kronecker sum
+    ``G = ⊗Kᵢ + ⊗Mᵢ``.  With ``Cᵢ = chol(Kᵢ)`` and the per-factor
+    eigendecompositions ``Cᵢ⁻¹ Mᵢ Cᵢ⁻ᵀ = Uᵢ Λᵢ Uᵢᵀ``::
+
+        G  = (⊗Cᵢ) (⊗Uᵢ) [I + ⊗Λᵢ] (⊗Uᵢ)ᵀ (⊗Cᵢ)ᵀ
+        G⁻¹ = (⊗Eᵢ)ᵀ · diag(1 / (1 + ⊗λ)) · (⊗Eᵢ),   Eᵢ = Uᵢᵀ Cᵢ⁻¹
+
+    so applying the inverse costs two Kronecker mat-mats plus one
+    diagonal scaling — the same order as a *single* CG iteration, and
+    exact.  Setup is one small Cholesky + eigendecomposition per factor
+    (O(Σ nᵢ³), done once per fitted strategy and memoized on ``A``).
+    ``⊗Λ`` is positive semi-definite, so the denominator is ≥ 1 and the
+    form is unconditionally stable once a positive-definite base block
+    is found; both blocks are tried as the base.
+
+    Returns the inverse as an implicit :class:`~repro.linalg.Matrix`
+    (so batched application routes through ``kmatmat``), or ``None``
+    when the strategy is not a two-term union of affordable Kronecker
+    Grams — callers then fall back to the CG solver.
+    """
+    from scipy.linalg import LinAlgError, cholesky, solve_triangular
+
+    if not isinstance(A, VStack) or len(A.blocks) not in (1, 2):
+        return None
+    cached = A.cache_get("union_gram_inverse")
+    if cached is not None:
+        return None if isinstance(cached, str) else cached
+
+    def unavailable():
+        A.cache_set("union_gram_inverse", "unavailable")
+        return None
+
+    g1 = _kron_gram_factor_mats(A.blocks[0])
+    if g1 is None:
+        return unavailable()
+    if len(A.blocks) == 2:
+        g2 = _kron_gram_factor_mats(A.blocks[1])
+    else:
+        g2 = [np.zeros_like(m) for m in g1]  # single block: G = ⊗Kᵢ + 0
+    if (
+        g2 is None
+        or len(g1) != len(g2)
+        or any(a.shape != b.shape for a, b in zip(g1, g2))
+    ):
+        return unavailable()
+
+    for base, other in ((g1, g2), (g2, g1)):
+        try:
+            Es, lam_full = [], np.ones(1)
+            for K, M in zip(base, other):
+                C = cholesky(K, lower=True, check_finite=False)
+                T1 = solve_triangular(C, M, lower=True, check_finite=False)
+                S = solve_triangular(C, T1.T, lower=True, check_finite=False).T
+                lam, U = np.linalg.eigh((S + S.T) / 2.0)
+                lam = np.clip(lam, 0.0, None)
+                Cinv = solve_triangular(
+                    C, np.eye(C.shape[0]), lower=True, check_finite=False
+                )
+                Es.append(U.T @ Cinv)
+                lam_full = np.kron(lam_full, lam)
+        except (LinAlgError, np.linalg.LinAlgError):
+            continue  # base block Gram not positive definite — swap roles
+        E = Kronecker([Dense(Ei) for Ei in Es])
+        op = E.T @ Diagonal(1.0 / (1.0 + lam_full)) @ E
+        return A.cache_set("union_gram_inverse", op)
+    return unavailable()
+
+
+@dataclass
+class CGResult:
+    """Outcome of a batched conjugate-gradient solve.
+
+    Attributes
+    ----------
+    x:
+        Solution matrix, one column per right-hand side (n x T).
+    iterations:
+        Per-column iteration counts (length T).
+    converged:
+        Per-column convergence flags.  A ``False`` entry means the column
+        hit ``maxiter`` or stalled (curvature ``pᵀGp <= 0`` — the Gram was
+        numerically semi-definite along the search direction); callers
+        should hand those columns to LSMR.
+    """
+
+    x: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+
+def _apply_gram(G: Matrix, P: np.ndarray, columnwise: bool) -> np.ndarray:
+    """``G @ P``, either one batched matmat or per-contiguous-column matvec."""
+    if not columnwise:
+        return G.matmat(P)
+    return apply_columnwise(G.matvec, P, P.shape[0])
+
+
+def _col_dots(X: np.ndarray, Y: np.ndarray, columnwise: bool) -> np.ndarray:
+    """Per-column inner products ``out[j] = X[:, j] · Y[:, j]``.
+
+    Reductions are where batch width can leak into per-column bits: a
+    strided column inside an (n, T) array may be summed in a different
+    order than a standalone contiguous vector.  ``columnwise=True``
+    therefore reduces each column as a contiguous copy — exactly the
+    arithmetic of a width-1 solve — while the default uses one einsum
+    over the whole batch.
+    """
+    if not columnwise:
+        return np.einsum("ij,ij->j", X, Y)
+    out = np.empty(X.shape[1])
+    for j in range(X.shape[1]):
+        out[j] = np.dot(
+            np.ascontiguousarray(X[:, j]), np.ascontiguousarray(Y[:, j])
+        )
+    return out
+
+
+def cg_gram_solve(
+    G: Matrix,
+    B: np.ndarray,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-11,
+    maxiter: int | None = None,
+    columnwise: bool = False,
+) -> CGResult:
+    """Solve ``G X = B`` for a batch of right-hand sides by CG.
+
+    Parameters
+    ----------
+    G:
+        The (symmetric positive semi-definite) Gram operator ``AᵀA`` as an
+        implicit :class:`~repro.linalg.Matrix`.  Only ``matvec``/``matmat``
+        products are used, so cached structured Grams (Kronecker products,
+        sums of Kronecker Grams, marginals Grams) plug in directly.
+    B:
+        Right-hand sides ``AᵀY``, shape (n, T).
+    x0:
+        Optional warm start, shape (n,) or (n, T).  Sweeps over adjacent
+        ε values pass the previous ε's solutions here.
+    rtol:
+        Per-column stopping criterion ``‖G x - b‖₂ <= rtol · ‖b‖₂``.
+    maxiter:
+        Iteration cap (default ``3 n``).
+    columnwise:
+        Apply ``G`` per contiguous column instead of one batched matmat —
+        see the module docstring for the bitwise-determinism contract.
+    """
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"B must be a 2-D (n, T) right-hand-side batch, got {B.shape}")
+    n, T = B.shape
+    if G.shape != (n, n):
+        raise ValueError(f"Gram operator must be {n} x {n}, got {G.shape}")
+    rtol = validate_tolerance("rtol", rtol)
+    maxiter = validate_maxiter(maxiter)
+    if maxiter is None:
+        maxiter = 3 * n
+
+    if x0 is None:
+        X = np.zeros((n, T))
+        R = B.copy()
+    else:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim == 1:
+            x0 = x0[:, None]
+        if x0.shape[0] != n or x0.shape[1] not in (1, T):
+            raise ValueError(f"x0 must have shape ({n},) or ({n}, {T}), got {x0.shape}")
+        # Writable copy: broadcast views are read-only and x0 may alias
+        # the previous ε block's solutions, which must stay untouched.
+        X = np.array(np.broadcast_to(x0, (n, T)), dtype=np.float64)
+        R = B - _apply_gram(G, X, columnwise)
+    P = R.copy()
+    rs = _col_dots(R, R, columnwise)
+    thresh = rtol * np.sqrt(_col_dots(B, B, columnwise))
+    active = np.sqrt(rs) > thresh
+    iterations = np.zeros(T, dtype=np.intp)
+
+    for _ in range(maxiter):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        Pa = np.ascontiguousarray(P[:, idx])
+        GP = _apply_gram(G, Pa, columnwise)
+        pgp = _col_dots(Pa, GP, columnwise)
+        rs_a = rs[idx]
+        ok = pgp > 0  # pᵀGp <= 0 ⇒ semi-definite breakdown: freeze, unconverged
+        alpha = np.zeros_like(pgp)
+        alpha[ok] = rs_a[ok] / pgp[ok]
+        X[:, idx] += Pa * alpha
+        R[:, idx] -= GP * alpha
+        iterations[idx] += 1
+        Ra = R[:, idx]
+        rs_new = _col_dots(Ra, Ra, columnwise)
+        done = np.sqrt(rs_new) <= thresh[idx]
+        cont = ok & ~done
+        beta = np.zeros_like(pgp)
+        beta[cont] = rs_new[cont] / rs_a[cont]
+        P[:, idx] = Ra + Pa * beta
+        rs[idx] = rs_new
+        active[idx[done | ~ok]] = False
+
+    converged = np.sqrt(rs) <= thresh
+    return CGResult(X, iterations, converged)

@@ -6,7 +6,7 @@ sensitivity (max L1 column norm), and structured pseudo-inverses.
 """
 
 from .base import Dense, Matrix, cache_enabled, set_cache_enabled
-from .identity import Identity, Ones, Total
+from .identity import Diagonal, Identity, Ones, Total
 from .kron import Kronecker, kmatmat, kmatvec
 from .marginals import (
     MarginalsAlgebra,
@@ -33,6 +33,7 @@ from .structured import (
 __all__ = [
     "AllRange",
     "Dense",
+    "Diagonal",
     "Identity",
     "Kronecker",
     "MarginalsAlgebra",

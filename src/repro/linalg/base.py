@@ -366,5 +366,18 @@ class _Product(Matrix):
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         return self.right.rmatvec(self.left.rmatvec(y))
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        # Structured pseudo-inverses are lazy products (e.g. (MᵀM)⁻Mᵀ for
+        # marginals, (AᵀA)⁻¹Aᵀ for p-Identity); batched RECONSTRUCT applies
+        # them to whole right-hand-side matrices, so the product must
+        # propagate matmat instead of falling back to a column loop.
+        return self.left.matmat(self.right.matmat(X))
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.right.rmatmat(self.left.rmatmat(Y))
+
+    def transpose(self) -> Matrix:
+        return _Product(self.right.T, self.left.T)
+
     def dense(self) -> np.ndarray:
         return self.left.dense() @ self.right.dense()

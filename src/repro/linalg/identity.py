@@ -132,6 +132,65 @@ class Ones(Matrix):
         return float(self.shape[0] * self.shape[1])
 
 
+class Diagonal(Matrix):
+    """The n x n diagonal matrix ``diag(d)``.
+
+    Appears in structured normal-equation solvers: the middle factor of
+    the two-term Kronecker gram inverse ``(⊗E)ᵀ diag(1/(1+⊗λ)) (⊗E)`` is
+    a pure per-coordinate scaling, so applying it is width-invariant
+    elementwise work.
+    """
+
+    def __init__(self, d: np.ndarray):
+        self.d = np.asarray(d, dtype=np.float64)
+        if self.d.ndim != 1:
+            raise ValueError(f"expected a 1-D diagonal, got shape {self.d.shape}")
+        n = self.d.shape[0]
+        self.shape = (n, n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.d * np.asarray(x, dtype=self.dtype)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        return self.d * np.asarray(y, dtype=self.dtype)
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim == 1:
+            return self.matvec(X)
+        return self.d[:, None] * X
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        return self.matmat(Y)
+
+    def gram(self) -> "Diagonal":
+        return Diagonal(self.d**2)
+
+    def sensitivity(self) -> float:
+        return float(np.abs(self.d).max())
+
+    def column_abs_sums(self) -> np.ndarray:
+        return np.abs(self.d)
+
+    def pinv(self) -> "Diagonal":
+        inv = np.zeros_like(self.d)
+        nz = self.d != 0
+        inv[nz] = 1.0 / self.d[nz]
+        return Diagonal(inv)
+
+    def transpose(self) -> "Diagonal":
+        return self
+
+    def dense(self) -> np.ndarray:
+        return np.diag(self.d)
+
+    def trace(self) -> float:
+        return float(self.d.sum())
+
+    def sum(self) -> float:
+        return float(self.d.sum())
+
+
 def Total(n: int) -> Ones:
     """The ``Total`` predicate set on a domain of size n: a 1 x n row of ones."""
     return Ones(1, n)

@@ -25,6 +25,21 @@ import numpy as np
 from .base import Matrix
 
 
+def _application_order(factors: Sequence[Matrix]) -> list[int]:
+    """Factor application order shared by :func:`kmatvec` and :func:`kmatmat`.
+
+    Factors act on distinct tensor axes, so application order is free:
+    apply shrinking factors (m < n, e.g. Total) first so the working
+    tensor collapses before the expensive factors run; within each class,
+    rightmost axis first (the trailing axis is contiguous, so no
+    transpose copy of the still-large tensor is needed).
+    """
+    return sorted(
+        range(len(factors)),
+        key=lambda i: (factors[i].shape[0] >= factors[i].shape[1], -i),
+    )
+
+
 def kmatvec(factors: Sequence[Matrix], x: np.ndarray) -> np.ndarray:
     """Compute ``(A1 ⊗ ... ⊗ Ad) @ x`` without materializing the product.
 
@@ -47,20 +62,10 @@ def kmatvec(factors: Sequence[Matrix], x: np.ndarray) -> np.ndarray:
     total_cols = math.prod(A.shape[1] for A in factors)
     if x.shape != (total_cols,):
         raise ValueError(f"expected vector of length {total_cols}, got {x.shape}")
-    # View x as a d-way tensor (row-major) and apply factor Ai along axis i.
-    # Factors act on distinct axes, so application order is free: apply
-    # shrinking factors (m < n, e.g. Total) first so the working tensor
-    # collapses before the expensive factors run, and skip Identity
-    # factors outright.
+    # View x as a d-way tensor (row-major) and apply factor Ai along axis i
+    # in _application_order, skipping Identity factors outright.
     X = x.reshape([A.shape[1] for A in factors])
-    # Shrinking factors before growing ones; within each class, rightmost
-    # axis first (the trailing axis is contiguous, so no transpose copy of
-    # the still-large tensor is needed).
-    order = sorted(
-        range(len(factors)),
-        key=lambda i: (factors[i].shape[0] >= factors[i].shape[1], -i),
-    )
-    for i in order:
+    for i in _application_order(factors):
         A = factors[i]
         if isinstance(A, Identity):
             continue
@@ -104,15 +109,10 @@ def kmatmat(factors: Sequence[Matrix], X: np.ndarray) -> np.ndarray:
     if batch == 0:
         # Degenerate RHS: reshape(-1, ...) cannot infer axes of size 0.
         return np.empty((total_rows, 0))
-    # d-way tensor plus the untouched trailing batch axis.
+    # d-way tensor plus the untouched trailing batch axis, applying each
+    # factor in the shared _application_order (Identity factors skipped).
     T = X.reshape([A.shape[1] for A in factors] + [batch])
-    # Same application order as kmatvec: shrinking factors first, then
-    # rightmost-first within each class (see kmatvec for the rationale).
-    order = sorted(
-        range(len(factors)),
-        key=lambda i: (factors[i].shape[0] >= factors[i].shape[1], -i),
-    )
-    for i in order:
+    for i in _application_order(factors):
         A = factors[i]
         if isinstance(A, Identity):
             continue

@@ -325,9 +325,20 @@ class MarginalsGram(Matrix):
         self.shape = (N, N)
 
     def _terms(self):
-        for a, v in enumerate(self.weights):
-            if v != 0.0:
-                yield Weighted(marginal_c_matrix(self.sizes, a), float(v))
+        # Build the weighted C(a) terms once per instance: every batched
+        # pinv application re-enters matvec/matmat, and rebuilding the
+        # Kronecker objects would discard their memoized structure.
+        terms = self.cache_get("gram_terms")
+        if terms is None:
+            terms = self.cache_set(
+                "gram_terms",
+                [
+                    Weighted(marginal_c_matrix(self.sizes, a), float(v))
+                    for a, v in enumerate(self.weights)
+                    if v != 0.0
+                ],
+            )
+        return terms
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         out = np.zeros(self.shape[0])

@@ -51,6 +51,9 @@ class Weighted(Matrix):
         return None if c is None else abs(self.weight) * c
 
     def pinv(self) -> Matrix:
+        if self.weight == 0:
+            # (0·A)⁺ is the zero matrix of the transposed shape, not ∞·A⁺.
+            return Weighted(self.base.pinv(), 0.0)
         return Weighted(self.base.pinv(), 1.0 / self.weight)
 
     def transpose(self) -> Matrix:
@@ -102,7 +105,16 @@ class VStack(Matrix):
         X = np.asarray(X, dtype=self.dtype)
         if X.ndim == 1:
             return self.matvec(X)
-        return np.vstack([B.matmat(X) for B in self.blocks])
+        # Write each block's batch directly into its row slice — the
+        # serving engine calls this with wide right-hand sides, where the
+        # extra vstack copy of every block result is measurable.
+        out = np.empty((self.shape[0], X.shape[1]), dtype=self.dtype)
+        offset = 0
+        for B in self.blocks:
+            rows = B.shape[0]
+            out[offset : offset + rows] = B.matmat(X)
+            offset += rows
+        return out
 
     def rmatmat(self, Y: np.ndarray) -> np.ndarray:
         Y = np.asarray(Y, dtype=self.dtype)

@@ -106,7 +106,48 @@ class TestLeastSquares:
         with pytest.raises(ValueError):
             least_squares(Identity(4), np.zeros(5))
 
+    def test_pinv_forced_on_union_raises(self, rng):
+        A = VStack([Weighted(Kronecker([Identity(4), Identity(5)]), 0.5)])
+        with pytest.raises(ValueError, match="union"):
+            least_squares(A, np.zeros(A.shape[0]), method="pinv")
+
+    def test_multi_rhs_kron_roundtrip(self, rng):
+        A = Kronecker([PIdentity(rng.random((2, 5))), PIdentity(rng.random((2, 4)))])
+        X = rng.standard_normal((20, 6))
+        got = least_squares(A, A.matmat(X))
+        assert got.shape == (20, 6)
+        assert np.allclose(got, X, atol=1e-8)
+
+    def test_multi_rhs_union_roundtrip(self, rng):
+        A = VStack(
+            [
+                Weighted(Kronecker([Identity(4), Identity(5)]), 0.5),
+                Weighted(Kronecker([Prefix(4), Identity(5)]), 0.125),
+            ]
+        )
+        X = rng.standard_normal((20, 3))
+        assert np.allclose(least_squares(A, A.matmat(X)), X, atol=1e-6)
+
     def test_answer_workload(self, rng):
         W = Prefix(6)
         x = rng.standard_normal(6)
         assert np.allclose(answer_workload(W, x), np.cumsum(x))
+
+    def test_answer_workload_batched(self, rng):
+        W = Prefix(6)
+        X = rng.standard_normal((6, 4))
+        assert np.allclose(answer_workload(W, X), np.cumsum(X, axis=0))
+
+
+class TestBatchedMeasureSmoke:
+    def test_batch_matches_spawned_loop(self, rng):
+        from repro.core.measure import laplace_measure_batch
+        from repro.optimize.parallel import spawn_seeds
+
+        A = Prefix(10)
+        x = rng.poisson(30, 10).astype(float)
+        eps = np.array([0.5, 1.0, 2.0])
+        Y = laplace_measure_batch(A, x, eps, rng=13)
+        seeds = spawn_seeds(13, 3)
+        for j, e in enumerate(eps):
+            assert np.array_equal(Y[:, j], laplace_measure(A, x, float(e), seeds[j]))

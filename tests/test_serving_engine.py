@@ -1,0 +1,444 @@
+"""Tests for the batched serving engine (PR 2): batched MEASURE,
+multi-RHS RECONSTRUCT, the structured normal-equation solvers, and the
+batched-vs-looped determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDMM, expected_error, rootmse
+from repro.core.measure import laplace_measure, laplace_measure_batch, laplace_noise
+from repro.core.reconstruct import (
+    DENSE_PINV_LIMIT,
+    answer_workload,
+    has_structured_pinv,
+    least_squares,
+    resolves_to_direct,
+    resolves_to_pinv,
+)
+from repro.core.solvers import (
+    cg_gram_solve,
+    union_gram_inverse,
+    validate_maxiter,
+    validate_tolerance,
+)
+from repro.linalg import (
+    Dense,
+    Diagonal,
+    Identity,
+    Kronecker,
+    MarginalsStrategy,
+    Prefix,
+    VStack,
+    Weighted,
+)
+from repro.optimize import PIdentity
+from repro.optimize.parallel import spawn_seeds
+from repro import workload
+
+
+def _union_strategy(rng):
+    """A 2-block union-of-Kronecker strategy (the OPT_+ output shape)."""
+    return VStack(
+        [
+            Weighted(
+                Kronecker([PIdentity(rng.random((2, 6))), Identity(5)]), 0.5
+            ),
+            Weighted(
+                Kronecker([Identity(6), PIdentity(rng.random((2, 5)))]), 0.5
+            ),
+        ]
+    )
+
+
+class TestBatchedNoise:
+    def test_batched_noise_bit_identical_to_spawned_loop(self):
+        scales = np.array([0.5, 2.0, 0.0, 1.0])
+        batch = laplace_noise(scales, 16, rng=42)
+        seeds = spawn_seeds(42, 4)
+        for j in range(4):
+            expected = laplace_noise(float(scales[j]), 16, rng=seeds[j])
+            assert np.array_equal(batch[:, j], expected)
+
+    def test_zero_scale_column_is_zero(self):
+        batch = laplace_noise(np.array([0.0, 1.0]), 8, rng=0)
+        assert np.all(batch[:, 0] == 0)
+        assert np.any(batch[:, 1] != 0)
+
+    def test_negative_scale_rejected_in_batch(self):
+        with pytest.raises(ValueError):
+            laplace_noise(np.array([1.0, -0.5]), 8)
+
+    def test_scalar_path_unchanged(self):
+        assert np.array_equal(laplace_noise(1.0, 10, 7), laplace_noise(1.0, 10, 7))
+
+
+class TestBatchedMeasure:
+    def test_shared_vector_eps_grid_bit_identical(self, rng):
+        A = Prefix(12)
+        x = rng.poisson(20, 12).astype(float)
+        eps = np.array([0.1, 1.0, 10.0])
+        Y = laplace_measure_batch(A, x, eps, rng=5)
+        seeds = spawn_seeds(5, 3)
+        for j in range(3):
+            assert np.array_equal(
+                Y[:, j], laplace_measure(A, x, float(eps[j]), rng=seeds[j])
+            )
+
+    def test_paired_data_vectors(self, rng):
+        A = Prefix(8)
+        X = rng.poisson(30, (8, 4)).astype(float)
+        Y = laplace_measure_batch(A, X, 1.0, rng=3, columnwise=True)
+        seeds = spawn_seeds(3, 4)
+        for j in range(4):
+            xj = np.ascontiguousarray(X[:, j])
+            assert np.array_equal(Y[:, j], laplace_measure(A, xj, 1.0, rng=seeds[j]))
+
+    def test_trials_argument(self, rng):
+        A = Identity(6)
+        Y = laplace_measure_batch(A, np.ones(6), 2.0, rng=0, trials=7)
+        assert Y.shape == (6, 7)
+
+    def test_inconsistent_trial_counts_rejected(self, rng):
+        A = Identity(6)
+        with pytest.raises(ValueError, match="inconsistent"):
+            laplace_measure_batch(
+                A, rng.random((6, 3)), np.array([1.0, 2.0]), rng=0
+            )
+        with pytest.raises(ValueError, match="inconsistent"):
+            laplace_measure_batch(A, np.ones(6), np.array([1.0, 2.0]), trials=3)
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            laplace_measure_batch(Identity(4), np.zeros(4), np.array([1.0, -1.0]))
+
+
+class TestSolverAgreement:
+    """pinv, LSMR, CG, and the union direct solver must agree on x̄."""
+
+    def test_kronecker(self, rng):
+        A = Kronecker([PIdentity(rng.random((2, 5))), PIdentity(rng.random((2, 4)))])
+        y = rng.standard_normal(A.shape[0])
+        x_pinv = least_squares(A, y, method="pinv")
+        x_lsmr = least_squares(A, y, method="lsmr")
+        x_cg = least_squares(A, y, method="cg")
+        assert np.allclose(x_pinv, x_lsmr, atol=1e-7)
+        assert np.allclose(x_pinv, x_cg, atol=1e-7)
+
+    def test_marginals(self, rng):
+        A = MarginalsStrategy((3, 2, 4), rng.random(8) + 0.05)
+        y = rng.standard_normal(A.shape[0])
+        x_pinv = least_squares(A, y, method="pinv")
+        x_lsmr = least_squares(A, y, method="lsmr")
+        x_cg = least_squares(A, y, method="cg")
+        assert np.allclose(x_pinv, x_lsmr, atol=1e-6)
+        assert np.allclose(x_pinv, x_cg, atol=1e-6)
+
+    def test_weighted(self, rng):
+        A = Weighted(PIdentity(rng.random((2, 6))), 0.25)
+        y = rng.standard_normal(A.shape[0])
+        assert np.allclose(
+            least_squares(A, y, method="pinv"),
+            least_squares(A, y, method="lsmr"),
+            atol=1e-7,
+        )
+
+    def test_union(self, rng):
+        A = _union_strategy(rng)
+        y = rng.standard_normal(A.shape[0])
+        x_auto = least_squares(A, y)  # two-term structured Gram inverse
+        x_lsmr = least_squares(A, y, method="lsmr")
+        x_cg = least_squares(A, y, method="cg")
+        assert np.allclose(x_auto, x_lsmr, atol=1e-6)
+        assert np.allclose(x_auto, x_cg, atol=1e-6)
+
+    def test_multi_rhs_matches_loop(self, rng):
+        A = _union_strategy(rng)
+        Y = rng.standard_normal((A.shape[0], 5))
+        X = least_squares(A, Y)
+        for j in range(5):
+            xj = least_squares(A, np.ascontiguousarray(Y[:, j]))
+            assert np.allclose(X[:, j], xj, atol=1e-9)
+
+    def test_multi_rhs_columnwise_bit_identical(self, rng):
+        A = _union_strategy(rng)
+        Y = rng.standard_normal((A.shape[0], 4))
+        X = least_squares(A, Y, columnwise=True)
+        for j in range(4):
+            xj = least_squares(A, np.ascontiguousarray(Y[:, j]))
+            assert np.array_equal(X[:, j], xj)
+
+    def test_cg_columnwise_bit_identical_per_column(self, rng):
+        A = _union_strategy(rng)
+        G = A.gram()
+        B = A.rmatmat(rng.standard_normal((A.shape[0], 6)))
+        batch = cg_gram_solve(G, B, columnwise=True)
+        for j in range(6):
+            single = cg_gram_solve(G, np.ascontiguousarray(B[:, j : j + 1]),
+                                   columnwise=True)
+            assert np.array_equal(batch.x[:, j], single.x[:, 0])
+            assert batch.iterations[j] == single.iterations[0]
+
+    def test_warm_start_agrees_with_cold(self, rng):
+        A = _union_strategy(rng)
+        y = rng.standard_normal(A.shape[0])
+        cold = least_squares(A, y, method="cg")
+        warm = least_squares(A, y, method="cg", x0=cold)
+        assert np.allclose(cold, warm, atol=1e-8)
+
+
+class TestUnionGramInverse:
+    def test_two_block_inverse_is_exact(self, rng):
+        A = _union_strategy(rng)
+        op = union_gram_inverse(A)
+        assert op is not None
+        G = A.gram().dense()
+        assert np.allclose(op.dense() @ G, np.eye(A.shape[1]), atol=1e-8)
+
+    def test_single_block_inverse(self, rng):
+        A = VStack([Weighted(Kronecker([PIdentity(rng.random((2, 4))),
+                                        PIdentity(rng.random((2, 3)))]), 1.0)])
+        op = union_gram_inverse(A)
+        assert op is not None
+        assert np.allclose(op.dense() @ A.gram().dense(), np.eye(12), atol=1e-8)
+
+    def test_unavailable_for_three_blocks(self, rng):
+        blocks = [
+            Weighted(Kronecker([PIdentity(rng.random((1, 4))), Identity(3)]), 0.3)
+            for _ in range(3)
+        ]
+        assert union_gram_inverse(VStack(blocks)) is None
+
+    def test_unavailable_for_non_vstack(self, rng):
+        assert union_gram_inverse(PIdentity(rng.random((2, 5)))) is None
+
+    def test_cached_on_instance(self, rng):
+        A = _union_strategy(rng)
+        assert union_gram_inverse(A) is union_gram_inverse(A)
+
+
+class TestValidationSatellites:
+    def test_pinv_on_vstack_raises(self, rng):
+        A = _union_strategy(rng)
+        with pytest.raises(ValueError, match="pinv.*union|union.*pinv"):
+            least_squares(A, np.zeros(A.shape[0]), method="pinv")
+
+    def test_dense_pinv_limit_constant(self):
+        assert DENSE_PINV_LIMIT == 4096
+        big = Dense(np.eye(8))
+        assert has_structured_pinv(big)
+        assert not has_structured_pinv(big, dense_pinv_limit=4)
+
+    def test_dense_pinv_limit_override_in_solver(self, rng):
+        A = Dense(rng.standard_normal((10, 8)))
+        y = rng.standard_normal(10)
+        ref = least_squares(A, y, method="pinv")
+        # Below the per-call limit the auto path must fall to the
+        # iterative solver and still agree.
+        via_cg = least_squares(A, y, dense_pinv_limit=4)
+        assert np.allclose(ref, via_cg, atol=1e-7)
+
+    def test_dense_pinv_limit_validation(self):
+        with pytest.raises(ValueError):
+            has_structured_pinv(Identity(4), dense_pinv_limit=-1)
+
+    def test_maxiter_validation(self, rng):
+        A = Identity(4)
+        for bad in (0, -3, 2.5, True):
+            with pytest.raises(ValueError):
+                least_squares(A, np.zeros(4), method="cg", maxiter=bad)
+        assert validate_maxiter(None) is None
+        assert validate_maxiter(10) == 10
+
+    def test_tolerance_validation(self, rng):
+        A = Identity(4)
+        for kw in ("atol", "btol", "rtol"):
+            with pytest.raises(ValueError):
+                least_squares(A, np.zeros(4), **{kw: -1e-3})
+        with pytest.raises(ValueError):
+            validate_tolerance("rtol", float("nan"))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            least_squares(Identity(4), np.zeros(4), method="bogus")
+
+    def test_x0_shape_validation(self, rng):
+        A = Identity(4)
+        with pytest.raises(ValueError):
+            least_squares(A, np.zeros(4), method="cg", x0=np.zeros(5))
+
+    def test_resolves_helpers(self, rng):
+        A = _union_strategy(rng)
+        assert not resolves_to_pinv(A)
+        assert resolves_to_direct(A)  # two-term direct solver
+        assert resolves_to_pinv(Identity(4))
+
+
+class TestRunBatch:
+    @pytest.fixture
+    def fitted_union(self, rng):
+        W = workload.range_total_union(8)
+        mech = HDMM(restarts=1, rng=0)
+        from repro.optimize import opt_union
+
+        res = opt_union(W, rng=0)
+        mech.workload, mech.strategy, mech.result = W, res.strategy, res
+        return mech
+
+    def test_exact_sweep_bit_identical_to_loop(self, fitted_union, rng):
+        mech = fitted_union
+        x = rng.poisson(25, mech.workload.shape[1]).astype(float)
+        eps = np.array([0.5, 1.0, 2.0])
+        trials = 3
+        T = eps.size * trials
+        seeds = spawn_seeds(11, T)
+        loop = np.stack(
+            [mech.run(x, eps[j // trials], rng=seeds[j]) for j in range(T)]
+        )
+        batch = mech.run_batch(
+            x, eps, trials=trials, rng=11, exact=True, warm_start=False
+        )
+        assert batch.shape == (3, 3, mech.workload.shape[0])
+        assert np.array_equal(batch.reshape(T, -1), loop)
+
+    def test_fast_sweep_matches_loop_to_tolerance(self, fitted_union, rng):
+        mech = fitted_union
+        x = rng.poisson(25, mech.workload.shape[1]).astype(float)
+        eps = np.array([0.5, 2.0])
+        seeds = spawn_seeds(4, 4)
+        loop = np.stack([mech.run(x, eps[j // 2], rng=seeds[j]) for j in range(4)])
+        batch = mech.run_batch(x, eps, trials=2, rng=4)
+        assert np.allclose(batch.reshape(4, -1), loop, atol=1e-8)
+
+    def test_return_data_vector_shapes(self, fitted_union, rng):
+        mech = fitted_union
+        x = rng.poisson(25, mech.workload.shape[1]).astype(float)
+        answers, x_hat = mech.run_batch(
+            x, [1.0, 2.0], trials=2, rng=0, return_data_vector=True
+        )
+        assert answers.shape == (2, 2, mech.workload.shape[0])
+        assert x_hat.shape == (2, 2, mech.workload.shape[1])
+
+    def test_paired_mode(self, fitted_union, rng):
+        mech = fitted_union
+        n = mech.workload.shape[1]
+        X = rng.poisson(25, (n, 3)).astype(float)
+        answers = mech.run_batch(X, 1.0, rng=2, exact=True)
+        assert answers.shape == (3, mech.workload.shape[0])
+        seeds = spawn_seeds(2, 3)
+        for j in range(3):
+            xj = np.ascontiguousarray(X[:, j])
+            assert np.array_equal(answers[j], mech.run(xj, 1.0, rng=seeds[j]))
+
+    def test_paired_mode_rejects_trials(self, fitted_union, rng):
+        mech = fitted_union
+        X = rng.random((mech.workload.shape[1], 2))
+        with pytest.raises(ValueError, match="trials"):
+            mech.run_batch(X, 1.0, trials=3)
+
+    def test_structured_pinv_strategy_sweep(self, rng):
+        mech = HDMM(restarts=1, rng=0).fit(workload.prefix_1d(16))
+        x = rng.poisson(40, 16).astype(float)
+        eps = np.array([0.5, 1.0])
+        batch = mech.run_batch(x, eps, trials=2, rng=9, exact=True)
+        seeds = spawn_seeds(9, 4)
+        loop = np.stack([mech.run(x, eps[j // 2], rng=seeds[j]) for j in range(4)])
+        assert np.array_equal(batch.reshape(4, -1), loop)
+
+    def test_marginals_strategy_sweep(self, rng):
+        from repro.domain import Domain
+
+        dom = Domain(["a", "b", "c"], [3, 3, 3])
+        mech = HDMM(restarts=1, rng=0).fit(workload.up_to_k_marginals(dom, 2))
+        x = rng.poisson(15, 27).astype(float)
+        batch, x_hat = mech.run_batch(
+            x, [1.0], trials=3, rng=5, exact=True, return_data_vector=True
+        )
+        seeds = spawn_seeds(5, 3)
+        loop = np.stack([mech.run(x, 1.0, rng=seeds[j]) for j in range(3)])
+        assert np.array_equal(batch.reshape(3, -1), loop)
+
+    def test_validation(self, fitted_union):
+        x = np.zeros(fitted_union.workload.shape[1])
+        with pytest.raises(ValueError):
+            fitted_union.run_batch(x, eps=-1.0)
+        with pytest.raises(ValueError):
+            fitted_union.run_batch(x, eps=1.0, trials=0)
+        with pytest.raises(RuntimeError):
+            HDMM().run_batch(x, eps=1.0)
+
+    def test_warm_start_agrees_with_cold_sweep(self, fitted_union, rng):
+        mech = fitted_union
+        x = rng.poisson(25, mech.workload.shape[1]).astype(float)
+        eps = np.array([0.25, 0.5, 1.0])
+        warm = mech.run_batch(x, eps, trials=2, rng=1, method="cg",
+                              warm_start=True)
+        cold = mech.run_batch(x, eps, trials=2, rng=1, method="cg",
+                              warm_start=False)
+        assert np.allclose(warm, cold, atol=1e-6)
+
+
+class TestVectorizedExpectedError:
+    def test_grid_matches_scalars(self):
+        W = workload.prefix_1d(16)
+        mech = HDMM(restarts=1, rng=0).fit(W)
+        grid = np.array([0.1, 1.0, 4.0])
+        vec = mech.expected_error(grid)
+        assert vec.shape == (3,)
+        for e, v in zip(grid, vec):
+            assert np.isclose(v, mech.expected_error(float(e)))
+        assert isinstance(mech.expected_error(1.0), float)
+
+    def test_rootmse_grid(self):
+        W = workload.prefix_1d(16)
+        mech = HDMM(restarts=1, rng=0).fit(W)
+        grid = np.array([0.5, 2.0])
+        assert np.allclose(
+            mech.expected_rootmse(grid),
+            [mech.expected_rootmse(0.5), mech.expected_rootmse(2.0)],
+        )
+
+    def test_module_level_functions(self, rng):
+        W = workload.prefix_1d(8)
+        A = Identity(8)
+        grid = np.array([1.0, 2.0])
+        assert np.allclose(
+            expected_error(W, A, grid),
+            [expected_error(W, A, 1.0), expected_error(W, A, 2.0)],
+        )
+        assert rootmse(W, A, grid).shape == (2,)
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            expected_error(Prefix(4), Identity(4), np.array([1.0, 0.0]))
+
+
+class TestDiagonal:
+    def test_roundtrip(self, rng):
+        d = rng.random(6) + 0.5
+        D = Diagonal(d)
+        x = rng.standard_normal(6)
+        assert np.allclose(D.matvec(x), d * x)
+        assert np.allclose(D.pinv().matvec(D.matvec(x)), x)
+        assert np.allclose(D.dense(), np.diag(d))
+        assert np.isclose(D.sensitivity(), np.abs(d).max())
+
+    def test_pinv_with_zeros(self):
+        D = Diagonal(np.array([2.0, 0.0]))
+        assert np.allclose(D.pinv().dense(), np.diag([0.5, 0.0]))
+
+    def test_matmat_batched(self, rng):
+        d = rng.random(4)
+        X = rng.standard_normal((4, 3))
+        assert np.allclose(Diagonal(d).matmat(X), d[:, None] * X)
+
+
+class TestAnswerWorkloadBatched:
+    def test_matches_column_loop(self, rng):
+        W = workload.prefix_identity(4)
+        X = rng.standard_normal((16, 5))
+        batched = answer_workload(W, X)
+        columnwise = answer_workload(W, X, columnwise=True)
+        for j in range(5):
+            ref = W.matvec(np.ascontiguousarray(X[:, j]))
+            assert np.allclose(batched[:, j], ref, atol=1e-12)
+            assert np.array_equal(columnwise[:, j], ref)
