@@ -28,6 +28,14 @@ regress against it:
   batched answers must be **bit-identical** to that loop at the same
   spawned seeds.
 
+* **service** (PR 3) — the strategy registry and query service: a cold
+  ``QueryService.prepare`` (fit + persist) vs a warm one (fingerprint
+  lookup + npz load with the solver factorization attached) on a fresh
+  process-equivalent, plus the latency of a zero-budget ad-hoc query
+  served from the cached reconstruction.  The recorded
+  ``warm_load_speedup`` is the amortization the registry buys every
+  process after the first.
+
 Run directly for the paper-style report; ``--quick`` shrinks restarts and
 repetitions for smoke runs (and regresses the serving speedup against the
 previously recorded ``BENCH_PERF.json``); ``--json`` controls the output
@@ -232,6 +240,62 @@ def bench_serving(
     }
 
 
+def bench_service(n: int = 64, restarts: int = 5, query_reps: int = 50) -> dict:
+    """Registry cold-fit vs warm-load, and free-query-hit latency."""
+    import shutil
+    import tempfile
+
+    from repro.service import PrivacyAccountant, QueryService, StrategyRegistry
+    from repro.workload import range_total_union
+
+    root = tempfile.mkdtemp(prefix="repro-bench-registry-")
+    try:
+        W = range_total_union(n)
+        x = np.random.default_rng(3).poisson(50, W.shape[1]).astype(float)
+
+        cold_svc = QueryService(
+            registry=StrategyRegistry(root), restarts=restarts, rng=0
+        )
+        with Timer() as t_cold:
+            key, strategy, _, from_registry = cold_svc.prepare(W)
+        assert not from_registry
+
+        # A fresh service over the same directory — the restarted process.
+        warm_svc = QueryService(
+            registry=StrategyRegistry(root),
+            accountant=PrivacyAccountant(default_cap=100.0),
+            restarts=restarts,
+            rng=0,
+        )
+        with Timer() as t_warm:
+            _, _, _, from_registry = warm_svc.prepare(W)
+        assert from_registry
+
+        warm_svc.add_dataset("bench", x)
+        warm_svc.measure("bench", W, eps=1.0, rng=7)
+        q = np.zeros(W.shape[1])
+        q[: n // 2] = 1.0
+        warm_svc.query("bench", q)  # warm the span-check caches
+        with Timer() as t_query:
+            for _ in range(query_reps):
+                warm_svc.query("bench", q)
+        spent = warm_svc.accountant.spent("bench")
+
+        return {
+            "workload": f"range-total-union-{n}",
+            "strategy": repr(strategy),
+            "registry_key": key,
+            "restarts": restarts,
+            "cold_fit_seconds": round(t_cold.elapsed, 4),
+            "warm_load_seconds": round(t_warm.elapsed, 6),
+            "warm_load_speedup": round(t_cold.elapsed / t_warm.elapsed, 1),
+            "free_query_hit_ms": round(t_query.elapsed / query_reps * 1e3, 4),
+            "free_query_budget_spent": spent - 1.0,  # must stay at 0.0
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> dict:
     if restarts is None:
         restarts = 2 if quick else 25
@@ -245,6 +309,9 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
         "serving": bench_serving(n=32 if quick else 64,
                                  trials=5 if quick else 20,
                                  n_eps=3 if quick else 5),
+        "service": bench_service(n=32 if quick else 64,
+                                 restarts=2 if quick else 5,
+                                 query_reps=10 if quick else 50),
     }
     return results
 
@@ -315,6 +382,16 @@ def main() -> None:
             f"{s['speedup_vs_seed_loop']:.1f}x vs seed loop",
         ],
     ]
+    v = results["service"]
+    rows += [
+        ["service cold fit + persist", f"{v['cold_fit_seconds']:.2f}s", ""],
+        [
+            "service warm registry load",
+            f"{v['warm_load_seconds'] * 1e3:.1f}ms",
+            f"{v['warm_load_speedup']:.0f}x vs cold fit",
+        ],
+        ["service free-query hit", f"{v['free_query_hit_ms']:.2f}ms", "zero budget"],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -347,6 +424,21 @@ def test_bench_perf_regression_smoke():
     results = run(quick=True)
     assert results["opt_hdmm"]["loss_deterministic"]
     assert results["kmatmat"]["cases"]["prefix-identity-total"]["speedup"] > 1.0
+
+
+def test_bench_service_smoke():
+    """Quick registry/service case: warm loads must stay orders of
+    magnitude cheaper than cold fits, and cache hits must stay free."""
+    v = bench_service(n=32, restarts=2, query_reps=5)
+    assert v["warm_load_speedup"] > 5.0
+    assert v["free_query_budget_spent"] == 0.0
+    assert v["free_query_hit_ms"] < 250.0
+    # The committed trajectory must already carry a service record so
+    # this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    assert recorded["service"]["warm_load_speedup"] > 5.0
+    assert recorded["service"]["free_query_budget_spent"] == 0.0
 
 
 def test_bench_serving_smoke():

@@ -22,26 +22,32 @@ Package layout:
 * :mod:`repro.workload`  — logical workloads, ImpVec, experiment builders;
 * :mod:`repro.optimize`  — OPT_0 / OPT_⊗ / OPT_+ / OPT_M / OPT_HDMM;
 * :mod:`repro.core`      — error metrics, measure, reconstruct, HDMM;
+* :mod:`repro.service`   — strategy registry, privacy accountant, and the
+  :class:`~repro.service.QueryService` serving layer;
 * :mod:`repro.baselines` — the eleven comparison mechanisms of Section 8;
 * :mod:`repro.data`      — dataset schemas and synthetic data generators.
 """
 
-from . import core, linalg, optimize, workload
+from . import core, linalg, optimize, service, workload
 from .core import HDMM, error_ratio, expected_error, rootmse, squared_error
 from .domain import Domain
+from .service import PrivacyAccountant, QueryService, StrategyRegistry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Domain",
     "HDMM",
+    "PrivacyAccountant",
+    "QueryService",
+    "StrategyRegistry",
     "core",
     "error_ratio",
     "expected_error",
     "linalg",
-    "error_ratio",
     "optimize",
     "rootmse",
+    "service",
     "squared_error",
     "workload",
     "__version__",

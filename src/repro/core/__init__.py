@@ -26,7 +26,14 @@ from .reconstruct import (
     resolves_to_direct,
     resolves_to_pinv,
 )
-from .solvers import CGResult, cg_gram_solve, union_gram_inverse
+from .solvers import (
+    CGResult,
+    cg_gram_solve,
+    export_gram_solver_state,
+    restore_gram_solver_state,
+    union_gram_inverse,
+    validate_epsilon,
+)
 
 __all__ = [
     "CGResult",
@@ -37,6 +44,7 @@ __all__ = [
     "cg_gram_solve",
     "error_ratio",
     "expected_error",
+    "export_gram_solver_state",
     "gram_inverse_trace",
     "has_structured_pinv",
     "laplace_mechanism_error",
@@ -47,8 +55,10 @@ __all__ = [
     "measurement_variance",
     "resolves_to_direct",
     "resolves_to_pinv",
+    "restore_gram_solver_state",
     "rootmse",
     "union_gram_inverse",
+    "validate_epsilon",
     "sensitivity_of",
     "squared_error",
     "supports",

@@ -36,6 +36,7 @@ from ..linalg import (
     Weighted,
 )
 from ..workload.util import as_union_of_products
+from .solvers import validate_epsilon
 
 
 def gram_inverse_trace(AtA: np.ndarray, V: np.ndarray) -> float:
@@ -152,9 +153,7 @@ def expected_error(
     with a single strategy-error evaluation (``squared_error`` is
     ε-independent) — the closed-form half of a batched ε sweep.
     """
-    eps_arr = np.asarray(eps, dtype=np.float64)
-    if np.any(eps_arr <= 0):
-        raise ValueError("privacy budget eps must be positive")
+    eps_arr = validate_epsilon(eps)
     out = 2.0 / eps_arr**2 * squared_error(W, A)
     return float(out) if eps_arr.ndim == 0 else out
 

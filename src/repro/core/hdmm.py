@@ -38,7 +38,7 @@ from ..workload.logical import LogicalWorkload, implicit_vectorize
 from .error import expected_error, rootmse
 from .measure import laplace_measure, laplace_measure_batch
 from .reconstruct import answer_workload, least_squares, resolves_to_direct
-from .solvers import validate_positive_int
+from .solvers import validate_epsilon, validate_positive_int
 
 
 class HDMM:
@@ -164,11 +164,9 @@ class HDMM:
         """
         A = self._require_fitted()
         x = np.asarray(x, dtype=np.float64)
-        eps_arr = np.atleast_1d(np.asarray(eps, dtype=np.float64))
+        eps_arr = np.atleast_1d(validate_epsilon(eps))
         if eps_arr.ndim != 1:
             raise ValueError(f"eps must be a scalar or 1-D grid, got {eps_arr.shape}")
-        if np.any(eps_arr <= 0):
-            raise ValueError("privacy budget eps must be positive")
         trials = validate_positive_int("trials", trials)
 
         if x.ndim == 2:

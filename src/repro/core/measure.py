@@ -31,7 +31,7 @@ import numpy as np
 
 from ..linalg import Matrix
 from ..optimize.parallel import spawn_seeds
-from .solvers import apply_columnwise, validate_positive_int
+from .solvers import apply_columnwise, validate_epsilon, validate_positive_int
 
 
 def laplace_noise(
@@ -71,8 +71,10 @@ def laplace_measure(
     rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
     """The ε-differentially-private measurement ``y = Ax + Lap(‖A‖₁/ε)``."""
-    if eps <= 0:
-        raise ValueError("privacy budget eps must be positive")
+    eps_arr = validate_epsilon(eps)
+    if eps_arr.ndim != 0:
+        raise ValueError(f"eps must be a scalar, got shape {eps_arr.shape}")
+    eps = float(eps_arr)
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (A.shape[1],):
         raise ValueError(f"data vector must have length {A.shape[1]}, got {x.shape}")
@@ -117,9 +119,7 @@ def laplace_measure_batch(
     The measurement matrix Y, shape (m, T).
     """
     x = np.asarray(x, dtype=np.float64)
-    eps_arr = np.asarray(eps, dtype=np.float64)
-    if np.any(eps_arr <= 0):
-        raise ValueError("privacy budget eps must be positive")
+    eps_arr = validate_epsilon(eps)
     if eps_arr.ndim > 1:
         raise ValueError(f"eps must be a scalar or 1-D array, got {eps_arr.shape}")
     if trials is not None:
@@ -159,6 +159,6 @@ def laplace_measure_batch(
 
 def measurement_variance(A: Matrix, eps: float | np.ndarray) -> float | np.ndarray:
     """Per-measurement noise variance ``2(‖A‖₁/ε)²`` (vectorized over ε)."""
-    eps_arr = np.asarray(eps, dtype=np.float64)
+    eps_arr = validate_epsilon(eps)
     out = 2.0 * (A.sensitivity() / eps_arr) ** 2
     return float(out) if eps_arr.ndim == 0 else out

@@ -38,7 +38,10 @@ __all__ = [
     "KRON_FACTOR_LIMIT",
     "apply_columnwise",
     "cg_gram_solve",
+    "export_gram_solver_state",
+    "restore_gram_solver_state",
     "union_gram_inverse",
+    "validate_epsilon",
     "validate_maxiter",
     "validate_positive_int",
     "validate_tolerance",
@@ -74,6 +77,31 @@ def validate_positive_int(name: str, value) -> int:
     ):
         raise ValueError(f"{name} must be a positive integer, got {value!r}")
     return int(value)
+
+
+def validate_epsilon(eps, name: str = "eps") -> np.ndarray:
+    """Check a privacy budget: every value finite and strictly positive.
+
+    The single validation point for every ε-consuming entry point
+    (``laplace_measure``, ``laplace_measure_batch``, ``HDMM.run`` /
+    ``run_batch``, ``expected_error``, the service accountant).  Accepts a
+    scalar or an array grid and returns it as a float64 ndarray (0-d for
+    scalars), leaving shape policy — scalar-only, 1-D grids — to the
+    caller.
+    """
+    try:
+        eps_arr = np.asarray(eps, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"privacy budget {name} must be numeric, got {eps!r}"
+        ) from None
+    if eps_arr.size == 0:
+        raise ValueError(f"privacy budget {name} must be non-empty")
+    if not np.all(np.isfinite(eps_arr)) or np.any(eps_arr <= 0):
+        raise ValueError(
+            f"privacy budget {name} must be finite and positive, got {eps!r}"
+        )
+    return eps_arr
 
 
 def validate_tolerance(name: str, value: float) -> float:
@@ -192,10 +220,59 @@ def union_gram_inverse(A: Matrix) -> Matrix | None:
                 lam_full = np.kron(lam_full, lam)
         except (LinAlgError, np.linalg.LinAlgError):
             continue  # base block Gram not positive definite — swap roles
-        E = Kronecker([Dense(Ei) for Ei in Es])
-        op = E.T @ Diagonal(1.0 / (1.0 + lam_full)) @ E
-        return A.cache_set("union_gram_inverse", op)
+        A.cache_set("union_gram_state", {"factors": Es, "lam": lam_full})
+        return A.cache_set("union_gram_inverse", _assemble_gram_inverse(Es, lam_full))
     return unavailable()
+
+
+def _assemble_gram_inverse(Es: list[np.ndarray], lam_full: np.ndarray) -> Matrix:
+    """``G⁻¹ = (⊗Eᵢ)ᵀ diag(1/(1+⊗λ)) (⊗Eᵢ)`` from its factor state."""
+    E = Kronecker([Dense(Ei) for Ei in Es])
+    return E.T @ Diagonal(1.0 / (1.0 + lam_full)) @ E
+
+
+def export_gram_solver_state(A: Matrix) -> dict | None:
+    """The factor state of ``A``'s structured union Gram inverse, if any.
+
+    Triggers the (memoized) factorization via :func:`union_gram_inverse`
+    and returns one of three values :func:`restore_gram_solver_state`
+    understands:
+
+    * ``{"factors": [E₁, ..., E_d], "lam": ⊗λ}`` — plain float64 arrays
+      ready for npz persistence, so a reloaded strategy never re-runs the
+      per-factor Cholesky/eigendecomposition setup;
+    * ``{"unavailable": True}`` — the factorization probe ran and failed
+      (no two-term structure), so a reloaded strategy skips re-probing;
+    * ``None`` — nothing is known (e.g. memoization was globally
+      disabled, so the probe outcome was not recorded); a reloaded
+      strategy probes afresh on first use.
+    """
+    if union_gram_inverse(A) is None:
+        return {"unavailable": True}
+    state = A.cache_get("union_gram_state")
+    if state is None:  # cache globally disabled — outcome not recorded
+        return None
+    return {"factors": list(state["factors"]), "lam": state["lam"]}
+
+
+def restore_gram_solver_state(A: Matrix, state: dict | None) -> None:
+    """Attach exported solver state to a strategy instance.
+
+    Inverts :func:`export_gram_solver_state`'s three cases: factor state
+    is rebuilt and cached, a recorded failed probe is cached as
+    ``"unavailable"`` (CG path, no re-probe), and ``None`` leaves the
+    strategy untouched so the first solve probes normally.
+    """
+    if state is None:
+        return
+    if state.get("unavailable"):
+        if isinstance(A, VStack):
+            A.cache_set("union_gram_inverse", "unavailable")
+        return
+    Es = [np.asarray(E, dtype=np.float64) for E in state["factors"]]
+    lam_full = np.asarray(state["lam"], dtype=np.float64)
+    A.cache_set("union_gram_state", {"factors": Es, "lam": lam_full})
+    A.cache_set("union_gram_inverse", _assemble_gram_inverse(Es, lam_full))
 
 
 @dataclass

@@ -8,6 +8,13 @@ sensitivity (max L1 column norm), and structured pseudo-inverses.
 from .base import Dense, Matrix, cache_enabled, set_cache_enabled
 from .identity import Diagonal, Identity, Ones, Total
 from .kron import Kronecker, kmatmat, kmatvec
+from .serialize import (
+    flatten_arrays,
+    matrix_from_config,
+    matrix_to_config,
+    registered_types,
+    restore_arrays,
+)
 from .marginals import (
     MarginalsAlgebra,
     MarginalsGram,
@@ -50,6 +57,7 @@ __all__ = [
     "Weighted",
     "WidthRange",
     "cache_enabled",
+    "flatten_arrays",
     "get_algebra",
     "haar_wavelet",
     "hierarchical",
@@ -58,6 +66,10 @@ __all__ = [
     "kmatvec",
     "marginal_c_matrix",
     "marginal_query_matrix",
+    "matrix_from_config",
+    "matrix_to_config",
+    "registered_types",
+    "restore_arrays",
     "set_cache_enabled",
     "set_dense_algebra_enabled",
     "subset_to_index",

@@ -256,6 +256,25 @@ class Matrix:
         ones_n = np.ones(self.shape[1], dtype=self.dtype)
         return float(self.matvec(ones_n).sum())
 
+    # -- serialization -----------------------------------------------------
+    def to_config(self) -> dict:
+        """Structural config for persistence (see :mod:`repro.linalg.serialize`).
+
+        Must be a nested dict of JSON scalars, lists, ndarrays and child
+        configs, with ``"type"`` naming the class; ``from_config`` inverts
+        it exactly.  Base matrices are not serializable by default.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support config serialization"
+        )
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Matrix":
+        """Rebuild an instance from :meth:`to_config` output."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support config serialization"
+        )
+
     # -- operator sugar ----------------------------------------------------
     def __matmul__(self, other):
         if isinstance(other, np.ndarray):
@@ -272,7 +291,10 @@ class Matrix:
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(shape={self.shape})"
+        return (
+            f"{type(self).__name__}(shape={self.shape}, "
+            f"dtype={np.dtype(self.dtype).name})"
+        )
 
 
 class Dense(Matrix):
@@ -322,6 +344,13 @@ class Dense(Matrix):
 
     def sum(self) -> float:
         return float(self.array.sum())
+
+    def to_config(self) -> dict:
+        return {"type": "Dense", "array": self.array}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Dense":
+        return cls(np.asarray(config["array"], dtype=np.float64))
 
 
 class _Transpose(Matrix):

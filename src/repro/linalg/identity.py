@@ -62,6 +62,16 @@ class Identity(Matrix):
     def sum(self) -> float:
         return float(self.n)
 
+    def to_config(self) -> dict:
+        return {"type": "Identity", "n": self.n}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Identity":
+        return cls(int(config["n"]))
+
+    def __repr__(self) -> str:
+        return f"Identity(n={self.n}, dtype={self.dtype.__name__})"
+
 
 class Ones(Matrix):
     """The m x n all-ones matrix.
@@ -131,6 +141,17 @@ class Ones(Matrix):
     def sum(self) -> float:
         return float(self.shape[0] * self.shape[1])
 
+    def to_config(self) -> dict:
+        return {"type": "Ones", "m": self.shape[0], "n": self.shape[1]}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Ones":
+        return cls(int(config["m"]), int(config["n"]))
+
+    def __repr__(self) -> str:
+        m, n = self.shape
+        return f"Ones({m} x {n}, dtype={self.dtype.__name__})"
+
 
 class Diagonal(Matrix):
     """The n x n diagonal matrix ``diag(d)``.
@@ -189,6 +210,16 @@ class Diagonal(Matrix):
 
     def sum(self) -> float:
         return float(self.d.sum())
+
+    def to_config(self) -> dict:
+        return {"type": "Diagonal", "d": self.d}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Diagonal":
+        return cls(np.asarray(config["d"], dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"Diagonal(n={self.shape[0]}, dtype={self.dtype.__name__})"
 
 
 def Total(n: int) -> Ones:

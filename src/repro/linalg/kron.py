@@ -190,6 +190,20 @@ class Kronecker(Matrix):
     def sum(self) -> float:
         return math.prod(A.sum() for A in self.factors)
 
+    def to_config(self) -> dict:
+        from .serialize import matrix_to_config
+
+        return {
+            "type": "Kronecker",
+            "factors": [matrix_to_config(A) for A in self.factors],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Kronecker":
+        from .serialize import matrix_from_config
+
+        return cls([matrix_from_config(c) for c in config["factors"]])
+
     def __repr__(self) -> str:
         inner = " ⊗ ".join(repr(A) for A in self.factors)
-        return f"Kronecker[{inner}]"
+        return f"Kronecker[{inner}, shape={self.shape}]"

@@ -376,6 +376,26 @@ class MarginalsGram(Matrix):
         # so tr C(a) = N for every a.
         return float(self.weights.sum() * N)
 
+    def to_config(self) -> dict:
+        return {
+            "type": "MarginalsGram",
+            "sizes": list(self.sizes),
+            "weights": self.weights,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "MarginalsGram":
+        return cls(
+            config["sizes"], np.asarray(config["weights"], dtype=np.float64)
+        )
+
+    def __repr__(self) -> str:
+        active = int(np.count_nonzero(self.weights))
+        return (
+            f"MarginalsGram(d={len(self.sizes)}, active={active}, "
+            f"shape={self.shape}, dtype={self.dtype.__name__})"
+        )
+
 
 class MarginalsStrategy(Matrix):
     """The strategy ``M(θ)``: all 2^d marginals stacked with weights θ.
@@ -443,5 +463,22 @@ class MarginalsStrategy(Matrix):
     def dense(self) -> np.ndarray:
         return self._stack.dense()
 
+    def to_config(self) -> dict:
+        return {
+            "type": "MarginalsStrategy",
+            "sizes": list(self.sizes),
+            "theta": self.theta,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "MarginalsStrategy":
+        return cls(
+            config["sizes"], np.asarray(config["theta"], dtype=np.float64)
+        )
+
     def __repr__(self) -> str:
-        return f"MarginalsStrategy(d={len(self.sizes)}, active={len(self.active)})"
+        return (
+            f"MarginalsStrategy(d={len(self.sizes)}, "
+            f"active={len(self.active)}, shape={self.shape}, "
+            f"dtype={self.dtype.__name__})"
+        )

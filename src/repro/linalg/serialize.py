@@ -1,0 +1,151 @@
+"""Config-based serialization of implicit matrices.
+
+Fitted strategies are the expensive artifact of HDMM (SELECT can take
+minutes; the Census SF1 workload changes once a decade), so the service
+layer persists them across processes.  Matrices serialize *structurally*:
+``A.to_config()`` returns a nested dict naming the class and its
+construction parameters — never a densified matrix — and
+:func:`matrix_from_config` rebuilds an equivalent instance through the
+class's ``from_config``.  The round trip is exact: every numeric payload
+is carried as a float64 ndarray (or a JSON-exact Python scalar), so a
+reloaded strategy produces bit-identical mat-vecs, Grams, sensitivities
+and noise scales.
+
+Configs are JSON-ready except for embedded ndarrays.  The persistence
+layer splits those out with :func:`flatten_arrays` (ndarray → ``{"$array":
+name}`` placeholder plus a name → ndarray dict for ``np.savez``) and
+reattaches them with :func:`restore_arrays` — one JSON manifest plus one
+npz per strategy, both human-inspectable.
+
+Adding a class: implement ``to_config`` (include ``"type":
+type(self).__name__``) and a ``from_config`` classmethod, then list the
+class in :func:`_ensure_registered`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Matrix
+
+__all__ = [
+    "flatten_arrays",
+    "matrix_from_config",
+    "matrix_to_config",
+    "registered_types",
+    "restore_arrays",
+]
+
+#: Class-name → class dispatch table, populated lazily (PIdentity lives in
+#: ``repro.optimize``, which imports this package — eager registration
+#: would be a cycle).
+_MATRIX_TYPES: dict[str, type] = {}
+
+
+def _ensure_registered() -> dict[str, type]:
+    if not _MATRIX_TYPES:
+        from ..optimize.opt0 import PIdentity
+        from .base import Dense
+        from .identity import Diagonal, Identity, Ones
+        from .kron import Kronecker
+        from .marginals import MarginalsGram, MarginalsStrategy
+        from .stack import Sum, VStack, Weighted
+        from .structured import (
+            AllRange,
+            Permuted,
+            Prefix,
+            SparseMatrix,
+            WidthRange,
+        )
+
+        for cls in (
+            AllRange,
+            Dense,
+            Diagonal,
+            Identity,
+            Kronecker,
+            MarginalsGram,
+            MarginalsStrategy,
+            Ones,
+            Permuted,
+            PIdentity,
+            Prefix,
+            SparseMatrix,
+            Sum,
+            VStack,
+            Weighted,
+            WidthRange,
+        ):
+            _MATRIX_TYPES[cls.__name__] = cls
+    return _MATRIX_TYPES
+
+
+def registered_types() -> dict[str, type]:
+    """The serializable matrix classes, by config ``type`` name."""
+    return dict(_ensure_registered())
+
+
+def matrix_to_config(A: Matrix) -> dict:
+    """Structural config of ``A`` — the inverse of :func:`matrix_from_config`."""
+    config = A.to_config()
+    if config.get("type") != type(A).__name__:
+        raise TypeError(
+            f"{type(A).__name__}.to_config() must set type={type(A).__name__!r}, "
+            f"got {config.get('type')!r}"
+        )
+    return config
+
+
+def matrix_from_config(config: dict) -> Matrix:
+    """Rebuild a matrix from its structural config."""
+    types = _ensure_registered()
+    name = config.get("type")
+    cls = types.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown matrix type {name!r}; serializable types are "
+            f"{sorted(types)}"
+        )
+    return cls.from_config(config)
+
+
+def flatten_arrays(config: Any, arrays: dict[str, np.ndarray] | None = None):
+    """Replace embedded ndarrays with ``{"$array": name}`` placeholders.
+
+    Returns ``(jsonable_config, arrays)`` where ``arrays`` maps generated
+    names (``a0``, ``a1``, ...) to the extracted ndarrays — ready for
+    ``json.dumps`` and ``np.savez`` respectively.
+    """
+    if arrays is None:
+        arrays = {}
+    if isinstance(config, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = config
+        return {"$array": name}, arrays
+    if isinstance(config, dict):
+        return (
+            {k: flatten_arrays(v, arrays)[0] for k, v in config.items()},
+            arrays,
+        )
+    if isinstance(config, (list, tuple)):
+        return [flatten_arrays(v, arrays)[0] for v in config], arrays
+    if isinstance(config, (np.integer,)):
+        return int(config), arrays
+    if isinstance(config, (np.floating,)):
+        return float(config), arrays
+    return config, arrays
+
+
+def restore_arrays(config: Any, arrays) -> Any:
+    """Inverse of :func:`flatten_arrays`: reattach named arrays in place of
+    their placeholders.  ``arrays`` is any name → ndarray mapping (an open
+    ``NpzFile`` works directly)."""
+    if isinstance(config, dict):
+        if set(config) == {"$array"}:
+            return np.asarray(arrays[config["$array"]])
+        return {k: restore_arrays(v, arrays) for k, v in config.items()}
+    if isinstance(config, list):
+        return [restore_arrays(v, arrays) for v in config]
+    return config

@@ -68,6 +68,21 @@ class Weighted(Matrix):
     def sum(self) -> float:
         return self.weight * self.base.sum()
 
+    def to_config(self) -> dict:
+        from .serialize import matrix_to_config
+
+        return {
+            "type": "Weighted",
+            "base": matrix_to_config(self.base),
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Weighted":
+        from .serialize import matrix_from_config
+
+        return cls(matrix_from_config(config["base"]), float(config["weight"]))
+
     def __repr__(self) -> str:
         return f"Weighted({self.base!r}, w={self.weight:g})"
 
@@ -176,8 +191,25 @@ class VStack(Matrix):
     def sum(self) -> float:
         return float(np.sum([B.sum() for B in self.blocks]))
 
+    def to_config(self) -> dict:
+        from .serialize import matrix_to_config
+
+        return {
+            "type": "VStack",
+            "blocks": [matrix_to_config(B) for B in self.blocks],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "VStack":
+        from .serialize import matrix_from_config
+
+        return cls([matrix_from_config(c) for c in config["blocks"]])
+
     def __repr__(self) -> str:
-        return f"VStack({len(self.blocks)} blocks, shape={self.shape})"
+        return (
+            f"VStack({len(self.blocks)} blocks, shape={self.shape}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 class Sum(Matrix):
@@ -240,6 +272,26 @@ class Sum(Matrix):
 
     def sum(self) -> float:
         return float(np.sum([T.sum() for T in self.terms]))
+
+    def to_config(self) -> dict:
+        from .serialize import matrix_to_config
+
+        return {
+            "type": "Sum",
+            "terms": [matrix_to_config(T) for T in self.terms],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Sum":
+        from .serialize import matrix_from_config
+
+        return cls([matrix_from_config(c) for c in config["terms"]])
+
+    def __repr__(self) -> str:
+        return (
+            f"Sum({len(self.terms)} terms, shape={self.shape}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 def hstack_dense(blocks: Sequence[np.ndarray]) -> Dense:

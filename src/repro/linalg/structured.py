@@ -54,8 +54,15 @@ class Prefix(Matrix):
     def dense(self) -> np.ndarray:
         return np.tril(np.ones((self.n, self.n)))
 
+    def to_config(self) -> dict:
+        return {"type": "Prefix", "n": self.n}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Prefix":
+        return cls(int(config["n"]))
+
     def __repr__(self) -> str:
-        return f"Prefix(n={self.n})"
+        return f"Prefix(n={self.n}, dtype={self.dtype.__name__})"
 
 
 class AllRange(Matrix):
@@ -144,8 +151,18 @@ class AllRange(Matrix):
             rows.append(block)
         return np.vstack(rows)
 
+    def to_config(self) -> dict:
+        return {"type": "AllRange", "n": self.n}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "AllRange":
+        return cls(int(config["n"]))
+
     def __repr__(self) -> str:
-        return f"AllRange(n={self.n})"
+        return (
+            f"AllRange(n={self.n}, shape={self.shape}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 class WidthRange(Matrix):
@@ -217,8 +234,18 @@ class WidthRange(Matrix):
             out[i, i : i + self.width] = 1.0
         return out
 
+    def to_config(self) -> dict:
+        return {"type": "WidthRange", "n": self.n, "width": self.width}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "WidthRange":
+        return cls(int(config["n"]), int(config["width"]))
+
     def __repr__(self) -> str:
-        return f"WidthRange(n={self.n}, width={self.width})"
+        return (
+            f"WidthRange(n={self.n}, width={self.width}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 class Permuted(Matrix):
@@ -275,6 +302,24 @@ class Permuted(Matrix):
     def dense(self) -> np.ndarray:
         return self.base.dense()[:, self.perm]
 
+    def to_config(self) -> dict:
+        from .serialize import matrix_to_config
+
+        return {
+            "type": "Permuted",
+            "base": matrix_to_config(self.base),
+            "perm": np.asarray(self.perm, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Permuted":
+        from .serialize import matrix_from_config
+
+        return cls(
+            matrix_from_config(config["base"]),
+            np.asarray(config["perm"], dtype=np.intp),
+        )
+
     def __repr__(self) -> str:
         return f"Permuted({self.base!r})"
 
@@ -315,6 +360,31 @@ class SparseMatrix(Matrix):
 
     def sum(self) -> float:
         return float(self.array.sum())
+
+    def to_config(self) -> dict:
+        csr = self.array
+        return {
+            "type": "SparseMatrix",
+            "data": csr.data,
+            "indices": np.asarray(csr.indices, dtype=np.int64),
+            "indptr": np.asarray(csr.indptr, dtype=np.int64),
+            "shape": [int(s) for s in csr.shape],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "SparseMatrix":
+        return cls(
+            sp.csr_matrix(
+                (config["data"], config["indices"], config["indptr"]),
+                shape=tuple(config["shape"]),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseMatrix(shape={self.shape}, nnz={self.array.nnz}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 def haar_wavelet(n: int) -> SparseMatrix:

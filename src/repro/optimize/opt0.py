@@ -105,8 +105,18 @@ class PIdentity(Matrix):
         A = np.vstack([np.eye(self.n), self.theta])
         return A / self.scale
 
+    def to_config(self) -> dict:
+        return {"type": "PIdentity", "theta": self.theta}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "PIdentity":
+        return cls(np.asarray(config["theta"], dtype=np.float64))
+
     def __repr__(self) -> str:
-        return f"PIdentity(p={self.p}, n={self.n})"
+        return (
+            f"PIdentity(p={self.p}, n={self.n}, shape={self.shape}, "
+            f"dtype={self.dtype.__name__})"
+        )
 
 
 def pidentity_loss_and_grad(

@@ -1,0 +1,46 @@
+"""Serving layer: persisted strategies + privacy-accounted query traffic.
+
+HDMM's economics (paper Section 3.6): SELECT is expensive but
+data-independent — fit once, reuse forever; MEASURE spends privacy
+budget — spend once, post-process forever.  This package turns those two
+facts into a service:
+
+* :mod:`~repro.service.fingerprint` — canonical workload keys, so
+  semantically equal workloads resolve to the same strategy anywhere;
+* :mod:`~repro.service.registry` — on-disk store (npz + JSON manifest)
+  of fitted strategies, persisted with their solver factorizations;
+* :mod:`~repro.service.accountant` — per-dataset epsilon ledger
+  (sequential + parallel composition, hard caps, raises before noise);
+* :mod:`~repro.service.engine` — the :class:`QueryService` front end:
+  free answers from cached reconstructions, batched accounted
+  measurement for everything else.
+"""
+
+from .accountant import BudgetExceededError, LedgerEntry, PrivacyAccountant
+from .engine import (
+    BatchResult,
+    QueryAnswer,
+    QueryMiss,
+    QueryService,
+    ServeResult,
+    in_measured_span,
+)
+from .fingerprint import canonical_config, config_digest, workload_fingerprint
+from .registry import StrategyRecord, StrategyRegistry
+
+__all__ = [
+    "BatchResult",
+    "BudgetExceededError",
+    "LedgerEntry",
+    "PrivacyAccountant",
+    "QueryAnswer",
+    "QueryMiss",
+    "QueryService",
+    "ServeResult",
+    "StrategyRecord",
+    "StrategyRegistry",
+    "canonical_config",
+    "config_digest",
+    "in_measured_span",
+    "workload_fingerprint",
+]

@@ -1,0 +1,176 @@
+"""Privacy-budget accounting for the query service.
+
+Each dataset a service instance answers queries about carries a hard
+epsilon cap — the total privacy loss its owners have authorized.  The
+accountant is the single gate in front of MEASURE: every measurement
+debits it *before* any noise is drawn, and a debit that would exceed the
+cap raises :class:`BudgetExceededError` with the data untouched, making
+over-spending a programming error rather than a silent privacy violation
+(the same contract as :class:`~repro.core.privacy.PrivacyLedger`, which
+tracks a single pipeline's stages; the accountant tracks many datasets
+across many requests).
+
+Two composition rules are supported:
+
+* **sequential** (:meth:`PrivacyAccountant.charge`) — mechanisms run on
+  the same data compose additively: the total loss of an ε-sweep is the
+  sum of its trials' budgets.
+* **parallel** (:meth:`PrivacyAccountant.charge_parallel`) — mechanisms
+  run on *disjoint partitions* of the data compose by the maximum: a
+  record appears in one partition only, so its worst-case privacy loss is
+  the largest branch budget (e.g. DAWA-style per-bucket measurement, or
+  per-region serving shards).
+
+Everything downstream of a measurement — reconstruction, workload
+answering, ad-hoc queries against a cached x̂ — is post-processing and
+never touches the accountant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.solvers import validate_epsilon
+
+__all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyAccountant"]
+
+#: Relative slack on cap comparisons so float accumulation of a budget
+#: split into many exact shares never spuriously trips the cap.
+_CAP_SLACK = 1e-12
+
+
+class BudgetExceededError(RuntimeError):
+    """A debit would push a dataset past its epsilon cap.
+
+    Raised *before* any measurement noise is drawn — the mechanism that
+    attempted the spend never touched the data.
+    """
+
+
+@dataclass
+class LedgerEntry:
+    """One recorded debit: which dataset, how much, and under which rule."""
+
+    dataset: str
+    epsilon: float
+    composition: str  # "sequential" | "parallel"
+    stage: str = ""
+
+
+class PrivacyAccountant:
+    """Multi-dataset epsilon ledger with hard per-dataset caps.
+
+    Parameters
+    ----------
+    default_cap:
+        Cap auto-registered for datasets first seen by a charge.  With
+        the default ``None``, every dataset must be registered explicitly
+        — unknown datasets raise ``KeyError`` rather than silently
+        spending an unbounded budget.
+    """
+
+    def __init__(self, default_cap: float | None = None):
+        if default_cap is not None:
+            default_cap = float(validate_epsilon(default_cap, "default_cap"))
+        self.default_cap = default_cap
+        self._caps: dict[str, float] = {}
+        self._spent: dict[str, float] = {}
+        self.ledger: list[LedgerEntry] = []
+
+    # -- registration ------------------------------------------------------
+    def register(self, dataset: str, cap: float) -> None:
+        """Set (or raise) the epsilon cap of a dataset.
+
+        A cap below what is already spent is rejected — budgets may be
+        extended by the data owner but never retroactively shrunk under
+        the amount consumed.
+        """
+        cap = float(validate_epsilon(cap, "cap"))
+        spent = self._spent.get(dataset, 0.0)
+        if cap < spent:
+            raise ValueError(
+                f"cap {cap} for dataset {dataset!r} is below the "
+                f"already-spent budget {spent}"
+            )
+        self._caps[dataset] = cap
+        self._spent.setdefault(dataset, 0.0)
+
+    def datasets(self) -> list[str]:
+        return sorted(self._caps)
+
+    def _require(self, dataset: str) -> float:
+        if dataset not in self._caps:
+            if self.default_cap is None:
+                raise KeyError(
+                    f"dataset {dataset!r} is not registered with the "
+                    "accountant (and no default_cap is set)"
+                )
+            self.register(dataset, self.default_cap)
+        return self._caps[dataset]
+
+    # -- inspection --------------------------------------------------------
+    def cap(self, dataset: str) -> float:
+        return self._require(dataset)
+
+    def spent(self, dataset: str) -> float:
+        self._require(dataset)
+        return self._spent[dataset]
+
+    def remaining(self, dataset: str) -> float:
+        return max(0.0, self.cap(dataset) - self.spent(dataset))
+
+    # -- debits ------------------------------------------------------------
+    def check(self, dataset: str, eps) -> float:
+        """Validate a prospective sequential debit without recording it.
+
+        Returns the total that :meth:`charge` would debit; raises
+        :class:`BudgetExceededError` if it does not fit.
+        """
+        total = float(np.sum(validate_epsilon(eps)))
+        cap = self._require(dataset)
+        spent = self._spent[dataset]
+        if spent + total > cap * (1 + _CAP_SLACK):
+            raise BudgetExceededError(
+                f"privacy budget exceeded for dataset {dataset!r}: "
+                f"spent {spent} + requested {total} > cap {cap}"
+            )
+        return total
+
+    def charge(self, dataset: str, eps, stage: str = "") -> float:
+        """Debit under sequential composition: the *sum* of the budgets.
+
+        ``eps`` may be a scalar or an array of per-mechanism budgets run
+        on the same data (an ε-sweep debits its grid total).  Returns the
+        amount debited.
+        """
+        total = self.check(dataset, eps)
+        self._spent[dataset] += total
+        self.ledger.append(LedgerEntry(dataset, total, "sequential", stage))
+        return total
+
+    def charge_parallel(self, dataset: str, eps, stage: str = "") -> float:
+        """Debit under parallel composition: the *maximum* branch budget.
+
+        For mechanisms applied to disjoint partitions of the dataset —
+        each record is touched by exactly one branch, so the collective
+        release is max(ε)-DP.  Returns the amount debited.
+        """
+        branch_max = float(np.max(validate_epsilon(eps)))
+        cap = self._require(dataset)
+        spent = self._spent[dataset]
+        if spent + branch_max > cap * (1 + _CAP_SLACK):
+            raise BudgetExceededError(
+                f"privacy budget exceeded for dataset {dataset!r}: "
+                f"spent {spent} + requested {branch_max} (parallel) > cap {cap}"
+            )
+        self._spent[dataset] += branch_max
+        self.ledger.append(LedgerEntry(dataset, branch_max, "parallel", stage))
+        return branch_max
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{d}: {self._spent[d]:g}/{self._caps[d]:g}" for d in self.datasets()
+        )
+        return f"PrivacyAccountant({parts or 'no datasets'})"

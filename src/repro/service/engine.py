@@ -1,0 +1,478 @@
+"""The query service: fitted-once strategies serving ad-hoc traffic.
+
+This is the layer between the optimize/measure/reconstruct engines and a
+deployment.  A :class:`QueryService` owns datasets (data vectors with
+privacy caps), a :class:`~repro.service.registry.StrategyRegistry` of
+persisted strategies, and a
+:class:`~repro.service.accountant.PrivacyAccountant` gating every
+measurement.  The serving rules:
+
+* **SELECT is amortized** — :meth:`QueryService.prepare` resolves a
+  workload to a strategy via fingerprint lookup (in-memory memo → disk
+  registry → cold ``HDMM.fit``, persisting the result).  Strategy
+  selection is data-independent (paper Theorem 7), so it spends no
+  budget no matter how often it runs.
+* **MEASURE is accounted** — :meth:`QueryService.measure` debits the
+  accountant under sequential composition *before any noise is drawn*;
+  a sweep that does not fit the dataset's cap raises with the data
+  untouched.  Measurement runs through the batched
+  :meth:`~repro.core.hdmm.HDMM.run_batch` engine, so an (ε-grid x
+  trials) sweep is one multi-RHS solve, and ``exact=True`` keeps the
+  bit-for-bit equivalence to the sequential loop.
+* **post-processing is free** — every measurement caches its most
+  accurate reconstruction x̂, and :meth:`QueryService.query` answers any
+  linear query inside the measured span from that cache with **zero**
+  accountant debit (Definition 5's post-processing invariance).
+  :meth:`QueryService.answer` routes a mixed batch: cache hits are
+  answered free, and the misses are stacked into one ad-hoc union
+  workload measured in a single accounted ``run_batch`` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.hdmm import HDMM
+from ..core.reconstruct import resolves_to_pinv
+from ..core.solvers import (
+    cg_gram_solve,
+    union_gram_inverse,
+    validate_epsilon,
+    validate_positive_int,
+)
+from ..domain import Domain
+from ..linalg import Dense, Matrix
+from ..workload.logical import LogicalWorkload, implicit_vectorize
+from .accountant import PrivacyAccountant
+from .registry import StrategyRegistry
+
+__all__ = [
+    "BatchResult",
+    "QueryAnswer",
+    "QueryMiss",
+    "QueryService",
+    "ServeResult",
+    "in_measured_span",
+]
+
+#: Default relative tolerance for the measured-span membership test.
+#: Structured pseudo-inverse paths (notably the marginals algebra's
+#: triangular solves) carry ~1e-7 of numerical noise on supported
+#: queries, while out-of-span residuals are O(1) — 1e-6 separates the
+#: two with orders of magnitude to spare on either side.
+SPAN_TOL = 1e-6
+
+
+class QueryMiss(LookupError):
+    """No cached reconstruction can answer the query for free."""
+
+
+def _as_query_matrix(q: Matrix | np.ndarray) -> Matrix:
+    """Normalize an ad-hoc query to an implicit matrix (rows = queries)."""
+    if isinstance(q, Matrix):
+        return q
+    arr = np.asarray(q, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"query must be a matrix or 1-/2-D array, got {q!r}")
+    return Dense(arr)
+
+
+def in_measured_span(A: Matrix, q: Matrix | np.ndarray, tol: float = SPAN_TOL) -> bool:
+    """Whether every row of ``q`` lies in the row space of strategy ``A``.
+
+    Queries in ``rowspace(A)`` are exactly those the least-squares
+    reconstruction answers with bounded, data-independent error — the
+    queries a cached x̂ can serve for free.  The membership test projects
+    ``qᵀ`` through ``A⁺A = (AᵀA)⁺(AᵀA)`` using the strategy's own
+    structured machinery (structured pseudo-inverse, the two-term union
+    Gram inverse, or batched CG — which converges to the pseudo-inverse
+    solve because Krylov iterates stay in ``range(AᵀA)``), and accepts
+    when the projection residual is below ``tol`` relative to the query
+    norm.  Full-row-rank strategies (anything containing a scaled
+    identity, e.g. every p-Identity product) span everything.
+    """
+    Q = _as_query_matrix(q)
+    if Q.shape[1] != A.shape[1]:
+        return False
+    Qt = np.ascontiguousarray(Q.dense().T)  # n x k
+    if resolves_to_pinv(A, "auto"):
+        proj = A.pinv().matmat(A.matmat(Qt))
+    else:
+        B = A.gram().matmat(Qt)
+        Ginv = union_gram_inverse(A)
+        if Ginv is not None:
+            proj = Ginv.matmat(B)
+        else:
+            proj = cg_gram_solve(A.gram(), B).x
+    scale = np.maximum(np.abs(Qt).sum(axis=0), 1.0)
+    return bool(np.max(np.abs(proj - Qt).max(axis=0) / scale) <= tol)
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one accounted measurement pass.
+
+    ``answers``/``x_hat`` carry :meth:`~repro.core.hdmm.HDMM.run_batch`
+    sweep shapes — ``(len(eps_grid), trials, ·)``.
+    """
+
+    answers: np.ndarray
+    x_hat: np.ndarray
+    key: str
+    eps: np.ndarray
+    trials: int
+    charged: float
+    loss: float | None
+    from_registry: bool
+
+
+@dataclass
+class QueryAnswer:
+    """One served ad-hoc query.
+
+    ``hit`` marks a zero-budget answer from a cached reconstruction;
+    ``key`` names the strategy fingerprint whose measurement produced the
+    reconstruction used.
+    """
+
+    values: np.ndarray
+    hit: bool
+    key: str | None = None
+
+
+@dataclass
+class BatchResult:
+    """A served query batch: per-query answers plus the joint debit."""
+
+    answers: list[QueryAnswer]
+    charged: float
+    hits: int
+    misses: int
+
+
+@dataclass
+class _Reconstruction:
+    key: str
+    strategy: Matrix
+    x_hat: np.ndarray
+    eps: float
+
+
+@dataclass
+class _DatasetState:
+    x: np.ndarray
+    reconstructions: dict[str, _Reconstruction] = field(default_factory=dict)
+
+
+class QueryService:
+    """Serve linear queries from persisted strategies and cached x̂.
+
+    Parameters
+    ----------
+    registry:
+        Strategy store shared across processes; ``None`` keeps fitted
+        strategies in memory only.
+    accountant:
+        Budget gate; ``None`` disables accounting (useful for synthetic
+        benchmarks — never for real data).
+    restarts, rng, fit_kwargs:
+        Forwarded to :class:`~repro.core.hdmm.HDMM` for cold fits.
+    template:
+        Template-class tag folded into registry keys (strategies fitted
+        under different templates never collide).
+    """
+
+    def __init__(
+        self,
+        registry: StrategyRegistry | None = None,
+        accountant: PrivacyAccountant | None = None,
+        restarts: int = 25,
+        rng: np.random.Generator | int | None = None,
+        template: str = "opt_hdmm",
+        span_tol: float = SPAN_TOL,
+        fit_kwargs: dict | None = None,
+    ):
+        self.registry = registry
+        self.accountant = accountant
+        self.restarts = restarts
+        self.rng = np.random.default_rng(rng)
+        self.template = template
+        self.span_tol = float(span_tol)
+        self.fit_kwargs = dict(fit_kwargs or {})
+        self._datasets: dict[str, _DatasetState] = {}
+        self._prepared: dict[str, tuple[Matrix, float | None]] = {}
+
+    # -- datasets ----------------------------------------------------------
+    def add_dataset(
+        self, name: str, x: np.ndarray, epsilon_cap: float | None = None
+    ) -> None:
+        """Register a data vector; ``epsilon_cap`` also registers its budget."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"data vector must be 1-D, got shape {x.shape}")
+        self._datasets[name] = _DatasetState(x=x)
+        if epsilon_cap is not None:
+            if self.accountant is None:
+                raise ValueError(
+                    "epsilon_cap given but the service has no accountant"
+                )
+            self.accountant.register(name, epsilon_cap)
+
+    def _dataset(self, name: str) -> _DatasetState:
+        if name not in self._datasets:
+            raise KeyError(f"unknown dataset {name!r}; call add_dataset first")
+        return self._datasets[name]
+
+    # -- SELECT (amortized, budget-free) ------------------------------------
+    def prepare(
+        self,
+        workload: Matrix | LogicalWorkload,
+        domain: Domain | None = None,
+    ) -> tuple[str, Matrix, float | None, bool]:
+        """Resolve a workload to a serve-ready strategy.
+
+        Returns ``(key, strategy, loss, from_registry)``.  Resolution
+        order: in-memory memo → registry → cold fit (persisted back to
+        the registry).  Never touches data or budget.
+        """
+        if isinstance(workload, LogicalWorkload):
+            if domain is None:
+                domain = workload.domain
+            workload = implicit_vectorize(workload)
+        if self.registry is not None:
+            key = self.registry.key_for(
+                workload, domain=domain, template=self.template
+            )
+        else:
+            from .fingerprint import workload_fingerprint
+
+            key = workload_fingerprint(
+                workload, domain=domain, template=self.template
+            )
+        if key in self._prepared:
+            strategy, loss = self._prepared[key]
+            return key, strategy, loss, True
+        if self.registry is not None:
+            record = self.registry.get(
+                workload, domain=domain, template=self.template
+            )
+            if record is not None:
+                self._prepared[key] = (record.strategy, record.loss)
+                return key, record.strategy, record.loss, True
+        mech = HDMM(restarts=self.restarts, rng=self.rng)
+        mech.fit(workload, **self.fit_kwargs)
+        loss = mech.result.loss
+        if self.registry is not None:
+            self.registry.put(
+                workload,
+                mech.strategy,
+                loss=loss,
+                domain=domain,
+                template=self.template,
+            )
+        self._prepared[key] = (mech.strategy, loss)
+        return key, mech.strategy, loss, False
+
+    # -- MEASURE (accounted) -------------------------------------------------
+    def measure(
+        self,
+        dataset: str,
+        workload: Matrix | LogicalWorkload,
+        eps: float | np.ndarray,
+        trials: int = 1,
+        rng: np.random.Generator | int | None = None,
+        domain: Domain | None = None,
+        stage: str = "",
+        cache: bool = True,
+        **run_kwargs,
+    ) -> ServeResult:
+        """Run an accounted (ε-grid x trials) measurement sweep.
+
+        The accountant is debited ``trials * Σ eps`` (sequential
+        composition) *before* any noise is drawn; on
+        :class:`~repro.service.accountant.BudgetExceededError` the data
+        is untouched.  Extra keyword arguments (``exact``,
+        ``warm_start``, ``method``, solver tolerances) forward to
+        :meth:`~repro.core.hdmm.HDMM.run_batch`, so
+        ``exact=True, warm_start=False`` serves answers bit-identical to
+        the sequential single-shot loop at the same seeds.
+
+        With ``cache=True`` the reconstruction of the highest-ε first
+        trial is kept for zero-budget :meth:`query` serving — unless a
+        higher-ε (more accurate) reconstruction for the same strategy is
+        already cached, which is retained instead.
+        """
+        ds = self._dataset(dataset)
+        if isinstance(workload, LogicalWorkload):
+            if domain is None:
+                domain = workload.domain
+            workload = implicit_vectorize(workload)
+        eps_arr = np.atleast_1d(validate_epsilon(eps))
+        if eps_arr.ndim != 1:
+            raise ValueError(
+                f"eps must be a scalar or 1-D grid, got shape {eps_arr.shape}"
+            )
+        trials = validate_positive_int("trials", trials)
+        total = float(eps_arr.sum()) * trials
+        # Every cheap precondition runs before the debit: a programming
+        # error (wrong dataset/workload pairing) must not burn budget.
+        if workload.shape[1] != ds.x.shape[0]:
+            raise ValueError(
+                f"workload domain size {workload.shape[1]} does not match "
+                f"dataset {dataset!r} data vector of length {ds.x.shape[0]}"
+            )
+
+        key, strategy, loss, from_registry = self.prepare(workload, domain=domain)
+        if self.accountant is not None:
+            self.accountant.charge(
+                dataset, total, stage=stage or f"measure:{key[:8]}"
+            )
+
+        mech = HDMM(restarts=self.restarts, rng=self.rng)
+        mech.workload = workload
+        mech.strategy = strategy
+        answers, x_hat = mech.run_batch(
+            ds.x,
+            eps_arr,
+            trials=trials,
+            rng=rng,
+            return_data_vector=True,
+            **run_kwargs,
+        )
+        if cache:
+            best = int(np.argmax(eps_arr))
+            existing = ds.reconstructions.get(key)
+            if existing is None or float(eps_arr[best]) >= existing.eps:
+                ds.reconstructions[key] = _Reconstruction(
+                    key=key,
+                    strategy=strategy,
+                    x_hat=np.ascontiguousarray(x_hat[best, 0]),
+                    eps=float(eps_arr[best]),
+                )
+        return ServeResult(
+            answers=answers,
+            x_hat=x_hat,
+            key=key,
+            eps=eps_arr,
+            trials=trials,
+            charged=total,
+            loss=loss,
+            from_registry=from_registry,
+        )
+
+    # -- free post-processing ------------------------------------------------
+    def query(self, dataset: str, q: Matrix | np.ndarray) -> QueryAnswer:
+        """Answer a linear query from cached reconstructions — zero budget.
+
+        Scans the dataset's reconstructions newest-first and answers from
+        the first whose measured span contains the query (Definition 5
+        post-processing: no accountant debit).  Raises :class:`QueryMiss`
+        when no cache entry covers it — callers decide whether to spend
+        budget via :meth:`answer` or :meth:`measure`.
+        """
+        ds = self._dataset(dataset)
+        Q = _as_query_matrix(q)
+        for recon in reversed(list(ds.reconstructions.values())):
+            if Q.shape[1] == recon.strategy.shape[1] and in_measured_span(
+                recon.strategy, Q, tol=self.span_tol
+            ):
+                # Q @ x̂ via the implicit operator keeps structured queries
+                # (marginals, ranges) on their fast paths.
+                values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
+                return QueryAnswer(values=values, hit=True, key=recon.key)
+        raise QueryMiss(
+            f"no cached reconstruction of dataset {dataset!r} spans the query"
+        )
+
+    def answer(
+        self,
+        dataset: str,
+        queries,
+        eps: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        stage: str = "",
+        **run_kwargs,
+    ) -> BatchResult:
+        """Serve a batch of ad-hoc queries: free hits, one accounted pass
+        for the misses.
+
+        Every query answerable from a cached reconstruction is served
+        with zero debit.  The remaining misses are stacked into a single
+        union workload and measured together through one
+        :meth:`~repro.core.hdmm.HDMM.run_batch` call under ``eps``
+        (sequential composition debits ``eps`` once for the whole miss
+        batch — jointly measured, jointly accounted).  ``eps`` must be a
+        scalar and the pass runs one trial: each miss query gets exactly
+        one answer, so there is no grid to choose from.  With no ``eps``
+        and at least one miss, raises :class:`QueryMiss` before touching
+        the budget.
+        """
+        if eps is not None and np.ndim(eps) != 0:
+            raise ValueError(
+                "answer() measures misses in a single (eps, trial) cell; "
+                f"eps must be a scalar, got shape {np.shape(eps)}"
+            )
+        if "trials" in run_kwargs:
+            raise ValueError(
+                "answer() does not accept trials; use measure() for sweeps"
+            )
+        ds = self._dataset(dataset)
+        mats = [_as_query_matrix(q) for q in queries]
+        answers: list[QueryAnswer | None] = [None] * len(mats)
+        miss_idx: list[int] = []
+        for i, Q in enumerate(mats):
+            try:
+                answers[i] = self.query(dataset, Q)
+            except QueryMiss:
+                miss_idx.append(i)
+
+        charged = 0.0
+        if miss_idx:
+            if eps is None:
+                raise QueryMiss(
+                    f"{len(miss_idx)} queries miss the reconstruction cache "
+                    "and no eps was provided to measure them"
+                )
+            from ..linalg import VStack
+
+            blocks = [mats[i] for i in miss_idx]
+            W_miss = blocks[0] if len(blocks) == 1 else VStack(blocks)
+            result = self.measure(
+                dataset,
+                W_miss,
+                eps,
+                rng=rng,
+                stage=stage or "answer:misses",
+                **run_kwargs,
+            )
+            charged = result.charged
+            flat = np.asarray(result.answers).reshape(-1)
+            offset = 0
+            for i in miss_idx:
+                rows = mats[i].shape[0]
+                answers[i] = QueryAnswer(
+                    values=flat[offset : offset + rows],
+                    hit=False,
+                    key=result.key,
+                )
+                offset += rows
+        return BatchResult(
+            answers=list(answers),  # type: ignore[arg-type]
+            charged=charged,
+            hits=len(mats) - len(miss_idx),
+            misses=len(miss_idx),
+        )
+
+    def reconstructions(self, dataset: str) -> list[str]:
+        """Fingerprints with a cached x̂ for ``dataset`` (oldest first)."""
+        return list(self._dataset(dataset).reconstructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(datasets={sorted(self._datasets)}, "
+            f"prepared={len(self._prepared)}, registry={self.registry!r})"
+        )

@@ -1,0 +1,166 @@
+"""Canonical, stable fingerprints of (workload, domain, template-class).
+
+The strategy registry keys persisted strategies by the *semantic content*
+of the workload they were fitted for, so that two processes building the
+same workload independently — today and after a restart, on one machine
+or across a fleet — agree on the key without coordination.  Three layers
+make the key stable:
+
+1. **Structural config** — the workload's ``to_config()`` tree (class
+   names + construction parameters), so equality is about what queries
+   the matrix encodes, never about Python object identity.
+2. **Canonicalization** — semantically-neutral wrappers are normalized
+   away before hashing: unit weights are dropped, nested weights are
+   multiplied through, nested/singleton stacks are flattened.  ``VStack([W])``
+   and ``Weighted(W, 1.0)`` answer exactly the query set of ``W``, so
+   they fingerprint identically to it.
+3. **Deterministic hashing** — the canonical tree is fed to SHA-256 via a
+   type-tagged byte encoding (sorted dict keys, arrays as dtype + shape +
+   raw C-order bytes), so the digest is reproducible across processes and
+   platforms.
+
+The fingerprint optionally folds in the relational domain (attribute
+names and sizes — the same query structure over a different schema is a
+different serving key) and the template class used for strategy selection
+(an OPT_0 strategy and an OPT_M strategy for the same workload are
+distinct registry entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..domain import Domain
+from ..linalg import Matrix, matrix_to_config
+from ..workload.logical import LogicalWorkload, implicit_vectorize
+from ..workload.util import attribute_sizes
+
+__all__ = ["canonical_config", "config_digest", "workload_fingerprint"]
+
+#: Hex digest length of a fingerprint (128 bits of SHA-256 — ample for
+#: key uniqueness while keeping registry paths readable).
+DIGEST_CHARS = 32
+
+
+def canonical_config(config: dict) -> dict:
+    """Normalize a matrix config so semantic equals share one form.
+
+    * ``Weighted`` with unit weight collapses to its base;
+    * nested ``Weighted`` wrappers multiply into one;
+    * ``VStack`` blocks that are themselves ``VStack`` configs are
+      flattened in order, and a single-block stack collapses to the block
+      (a union of one query set *is* that query set);
+    * all nested child configs are canonicalized recursively.
+    """
+    out = {k: v for k, v in config.items()}
+    t = out.get("type")
+    if t == "Weighted":
+        base = canonical_config(out["base"])
+        weight = float(out["weight"])
+        if base.get("type") == "Weighted":
+            weight *= float(base["weight"])
+            base = base["base"]
+        if weight == 1.0:
+            return base
+        return {"type": "Weighted", "base": base, "weight": weight}
+    if t == "VStack":
+        blocks = []
+        for b in out["blocks"]:
+            cb = canonical_config(b)
+            if cb.get("type") == "VStack":
+                blocks.extend(cb["blocks"])
+            else:
+                blocks.append(cb)
+        if len(blocks) == 1:
+            return blocks[0]
+        return {"type": "VStack", "blocks": blocks}
+    if t == "Kronecker":
+        out["factors"] = [canonical_config(f) for f in out["factors"]]
+    elif t == "Sum":
+        out["terms"] = [canonical_config(x) for x in out["terms"]]
+    elif t == "Permuted":
+        out["base"] = canonical_config(out["base"])
+    return out
+
+
+def _update(h, obj) -> None:
+    """Feed one config node into the hash with an unambiguous type tag."""
+    if isinstance(obj, dict):
+        h.update(b"D")
+        for k in sorted(obj):
+            h.update(b"K" + str(k).encode() + b"\x00")
+            _update(h, obj[k])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + str(len(obj)).encode() + b"\x00")
+        for v in obj:
+            _update(h, v)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(
+            b"A" + arr.dtype.str.encode() + str(arr.shape).encode() + b"\x00"
+        )
+        h.update(arr.tobytes())
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode() + b"\x00")
+    elif isinstance(obj, (float, np.floating)):
+        # repr of a float is the shortest string that round-trips the
+        # exact double, so equal values hash equally and nothing else does.
+        h.update(b"F" + repr(float(obj)).encode() + b"\x00")
+    elif isinstance(obj, str):
+        h.update(b"S" + obj.encode() + b"\x00")
+    elif obj is None:
+        h.update(b"N")
+    else:
+        raise TypeError(f"unhashable config value of type {type(obj).__name__}")
+
+
+def config_digest(config) -> str:
+    """Deterministic SHA-256 digest of a (canonical) config tree."""
+    h = hashlib.sha256()
+    _update(h, config)
+    return h.hexdigest()[:DIGEST_CHARS]
+
+
+def workload_fingerprint(
+    workload: Matrix | LogicalWorkload,
+    domain: Domain | None = None,
+    template: str | None = None,
+) -> str:
+    """The registry key of a workload: hash of (queries, domain, template).
+
+    Parameters
+    ----------
+    workload:
+        Implicit workload matrix or a :class:`LogicalWorkload` (vectorized
+        via ImpVec first, and its own domain used unless overridden).
+    domain:
+        The relational schema being served.  Defaults to the workload's
+        own domain when logical, else the per-attribute sizes recovered
+        from the union-of-products decomposition (falling back to the
+        flat domain size for matrices without product structure).
+    template:
+        Identifier of the strategy template class the key is for (e.g.
+        ``"opt_hdmm"``, ``"opt_marginals"``); strategies fitted by
+        different templates never collide.
+    """
+    if isinstance(workload, LogicalWorkload):
+        if domain is None:
+            domain = workload.domain
+        workload = implicit_vectorize(workload)
+    if domain is not None:
+        dom = {"attributes": list(domain.attributes), "sizes": list(domain.sizes)}
+    else:
+        try:
+            dom = {"attributes": None, "sizes": list(attribute_sizes(workload))}
+        except ValueError:
+            dom = {"attributes": None, "sizes": [int(workload.shape[1])]}
+    payload = {
+        "workload": canonical_config(matrix_to_config(workload)),
+        "domain": dom,
+        "template": template or "",
+    }
+    return config_digest(payload)

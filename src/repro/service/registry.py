@@ -1,0 +1,251 @@
+"""Persistent on-disk store of fitted strategies.
+
+SELECT is the expensive stage of HDMM — minutes of optimization for a
+workload that may then be served for years (the paper's Census SF1
+workload changes once a decade).  The registry amortizes it across
+processes: a strategy is fitted once, persisted, and every later process
+(or machine sharing the directory) loads it serve-ready.
+
+Layout — one JSON manifest plus one npz per strategy::
+
+    <root>/manifest.json          # key → metadata (human-inspectable)
+    <root>/<fingerprint>.npz      # structural config + arrays + solver state
+
+The npz carries the strategy's :mod:`structural config
+<repro.linalg.serialize>` (JSON string under ``__config__``, ndarrays
+split out by :func:`~repro.linalg.flatten_arrays`) *and* the factor state
+of the structured union Gram inverse
+(:func:`~repro.core.solvers.export_gram_solver_state`), so a loaded
+strategy answers its first query without re-running the per-factor
+Cholesky/eigendecomposition setup.  All payloads are float64-exact: a
+reloaded strategy is bit-identical to the fitted one.
+
+Keys are :func:`~repro.service.fingerprint.workload_fingerprint` values,
+so any process that can *construct* the workload can find its strategy —
+no shared naming convention required.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform — single-process use only
+    fcntl = None
+
+from ..linalg import (
+    Matrix,
+    flatten_arrays,
+    matrix_from_config,
+    matrix_to_config,
+    restore_arrays,
+)
+from ..core.solvers import export_gram_solver_state, restore_gram_solver_state
+from ..domain import Domain
+from ..workload.logical import LogicalWorkload
+from .fingerprint import workload_fingerprint
+
+__all__ = ["StrategyRecord", "StrategyRegistry"]
+
+_MANIFEST = "manifest.json"
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class StrategyRecord:
+    """A deserialized registry entry, serve-ready.
+
+    Attributes
+    ----------
+    key:
+        The workload fingerprint the strategy is stored under.
+    strategy:
+        The reconstructed strategy matrix, with its union-Gram solver
+        state already attached (no re-factorization on first use).
+    loss:
+        ``‖W A⁺‖_F²`` recorded at fit time (None if not recorded).
+    meta:
+        The manifest metadata for the entry (reprs, shapes, timestamps,
+        caller extras).
+    """
+
+    key: str
+    strategy: Matrix
+    loss: float | None = None
+    meta: dict = field(default_factory=dict)
+
+
+class StrategyRegistry:
+    """npz + JSON-manifest store of fitted strategies, keyed by fingerprint."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- manifest plumbing -------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST)
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive advisory lock over manifest read-modify-write cycles.
+
+        Concurrent writers sharing the directory (the deployment this
+        registry exists for) would otherwise lose each other's entries:
+        both read, both write, last rename wins.  Uses ``flock`` on a
+        sidecar file; on platforms without ``fcntl`` this degrades to no
+        locking (single-process use).
+        """
+        if fcntl is None:
+            yield
+            return
+        with open(os.path.join(self.root, ".lock"), "a") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock, fcntl.LOCK_UN)
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path) as f:
+                manifest = json.load(f)
+        except FileNotFoundError:
+            return {"version": _MANIFEST_VERSION, "entries": {}}
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported registry manifest version "
+                f"{manifest.get('version')!r} at {self.manifest_path}"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        # Write-then-rename so a crashed writer never leaves a truncated
+        # manifest behind for the next process.
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+        os.replace(tmp, self.manifest_path)
+
+    def _strategy_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.npz")
+
+    # -- keys --------------------------------------------------------------
+    def key_for(
+        self,
+        workload: Matrix | LogicalWorkload,
+        domain: Domain | None = None,
+        template: str | None = None,
+    ) -> str:
+        """The fingerprint this registry files ``workload`` under."""
+        return workload_fingerprint(workload, domain=domain, template=template)
+
+    def keys(self) -> list[str]:
+        return sorted(self._read_manifest()["entries"])
+
+    def __len__(self) -> int:
+        return len(self._read_manifest()["entries"])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._read_manifest()["entries"]
+
+    def entry(self, key: str) -> dict:
+        """The manifest metadata of ``key`` (no strategy deserialization)."""
+        entries = self._read_manifest()["entries"]
+        if key not in entries:
+            raise KeyError(f"no strategy registered under {key!r}")
+        return dict(entries[key])
+
+    # -- persistence -------------------------------------------------------
+    def put(
+        self,
+        workload: Matrix | LogicalWorkload,
+        strategy: Matrix,
+        loss: float | None = None,
+        domain: Domain | None = None,
+        template: str | None = None,
+        metadata: dict | None = None,
+    ) -> str:
+        """Persist a fitted strategy; returns its registry key.
+
+        An existing entry for the same key is replaced (re-fitting a
+        workload updates the served strategy).
+        """
+        key = self.key_for(workload, domain=domain, template=template)
+        solver = export_gram_solver_state(strategy)
+        payload = {
+            "strategy": matrix_to_config(strategy),
+            "solver": solver,
+        }
+        flat, arrays = flatten_arrays(payload)
+        # Write-then-rename: a concurrent load of the same key reads
+        # either the old complete file or the new one, never a torn write.
+        # (np.savez appends .npz to paths that lack it.)
+        path = self._strategy_path(key)
+        tmp = f"{path[:-4]}.tmp-{os.getpid()}.npz"
+        np.savez(tmp, __config__=json.dumps(flat), **arrays)
+        os.replace(tmp, path)
+
+        with self._locked():
+            manifest = self._read_manifest()
+            manifest["entries"][key] = {
+                "file": f"{key}.npz",
+                "strategy": repr(strategy),
+                "workload": repr(workload),
+                "shape": [int(s) for s in strategy.shape],
+                "sensitivity": float(strategy.sensitivity()),
+                "loss": None if loss is None else float(loss),
+                "template": template or "",
+                "solver_state": bool(solver and "factors" in solver),
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "metadata": metadata or {},
+            }
+            self._write_manifest(manifest)
+        return key
+
+    def load(self, key: str) -> StrategyRecord:
+        """Deserialize the strategy stored under ``key`` (KeyError on miss)."""
+        meta = self.entry(key)
+        with np.load(self._strategy_path(key), allow_pickle=False) as npz:
+            payload = restore_arrays(json.loads(npz["__config__"].item()), npz)
+        strategy = matrix_from_config(payload["strategy"])
+        restore_gram_solver_state(strategy, payload["solver"])
+        return StrategyRecord(
+            key=key, strategy=strategy, loss=meta.get("loss"), meta=meta
+        )
+
+    def get(
+        self,
+        workload: Matrix | LogicalWorkload,
+        domain: Domain | None = None,
+        template: str | None = None,
+    ) -> StrategyRecord | None:
+        """Look up the strategy fitted for ``workload`` (None on miss)."""
+        key = self.key_for(workload, domain=domain, template=template)
+        if key not in self:
+            return None
+        return self.load(key)
+
+    def delete(self, key: str) -> None:
+        """Remove an entry and its npz file (KeyError on miss)."""
+        with self._locked():
+            manifest = self._read_manifest()
+            if key not in manifest["entries"]:
+                raise KeyError(f"no strategy registered under {key!r}")
+            del manifest["entries"][key]
+            self._write_manifest(manifest)
+        try:
+            os.remove(self._strategy_path(key))
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"StrategyRegistry(root={self.root!r}, entries={len(self)})"

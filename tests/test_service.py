@@ -1,0 +1,511 @@
+"""Tests for the service subsystem: fingerprints, the strategy registry,
+the privacy accountant, and the QueryService serving engine — including
+the end-to-end persistence acceptance contract (fit once, reload in a
+fresh process-equivalent, serve bit-identically, post-process for free,
+and never out-spend a budget cap)."""
+
+import numpy as np
+import pytest
+
+from repro import workload
+from repro.core import HDMM
+from repro.domain import Domain
+from repro.linalg import (
+    Identity,
+    Kronecker,
+    MarginalsStrategy,
+    Ones,
+    Prefix,
+    VStack,
+    Weighted,
+)
+from repro.optimize import opt_union
+from repro.service import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    QueryMiss,
+    QueryService,
+    StrategyRegistry,
+    canonical_config,
+    in_measured_span,
+    workload_fingerprint,
+)
+from repro.workload.logical import LogicalWorkload, Product
+
+
+@pytest.fixture
+def union_workload():
+    return workload.range_total_union(8)
+
+
+@pytest.fixture
+def fitted_union(union_workload):
+    return opt_union(union_workload, rng=0)
+
+
+class TestFingerprint:
+    def test_semantically_equal_workloads_share_a_key(self):
+        assert workload_fingerprint(
+            workload.range_total_union(8)
+        ) == workload_fingerprint(workload.range_total_union(8))
+        assert workload_fingerprint(Prefix(16)) == workload_fingerprint(Prefix(16))
+
+    def test_different_workloads_differ(self):
+        keys = {
+            workload_fingerprint(workload.range_total_union(8)),
+            workload_fingerprint(workload.range_total_union(16)),
+            workload_fingerprint(Prefix(8)),
+            workload_fingerprint(workload.prefix_identity(8)),
+        }
+        assert len(keys) == 4
+
+    def test_unit_weight_and_singleton_stack_are_neutral(self):
+        W = Kronecker([Prefix(4), Identity(3)])
+        assert workload_fingerprint(Weighted(W, 1.0)) == workload_fingerprint(W)
+        assert workload_fingerprint(VStack([W])) == workload_fingerprint(W)
+        assert workload_fingerprint(Weighted(W, 2.0)) != workload_fingerprint(W)
+
+    def test_nested_weights_multiply_through(self):
+        W = Prefix(5)
+        assert workload_fingerprint(
+            Weighted(Weighted(W, 2.0), 3.0)
+        ) == workload_fingerprint(Weighted(W, 6.0))
+
+    def test_nested_stacks_flatten(self):
+        a = Kronecker([Prefix(3), Identity(2)])
+        b = Kronecker([Identity(3), Prefix(2)])
+        c = Kronecker([Ones(1, 3), Identity(2)])
+        assert workload_fingerprint(
+            VStack([VStack([a, b]), c])
+        ) == workload_fingerprint(VStack([a, b, c]))
+
+    def test_template_and_domain_distinguish(self):
+        W = Prefix(8)
+        base = workload_fingerprint(W)
+        assert workload_fingerprint(W, template="opt_marginals") != base
+        d1 = Domain(["age"], [8])
+        d2 = Domain(["income"], [8])
+        assert workload_fingerprint(W, domain=d1) != workload_fingerprint(
+            W, domain=d2
+        )
+
+    def test_logical_workload_uses_its_domain(self):
+        dom = Domain(["a", "b"], [3, 4])
+        lw = LogicalWorkload([Product(dom, {})])
+        assert workload_fingerprint(lw) == workload_fingerprint(lw)
+
+    def test_canonical_config_idempotent(self, union_workload):
+        from repro.linalg import matrix_to_config
+
+        cfg = canonical_config(matrix_to_config(union_workload))
+        assert canonical_config(cfg) == cfg
+
+
+class TestRegistry:
+    def test_put_get_roundtrip(self, tmp_path, union_workload, fitted_union):
+        reg = StrategyRegistry(tmp_path / "reg")
+        key = reg.put(
+            union_workload, fitted_union.strategy, loss=fitted_union.loss
+        )
+        assert key in reg
+        assert reg.keys() == [key]
+        rec = reg.get(union_workload)
+        assert rec is not None and rec.key == key
+        assert rec.loss == pytest.approx(fitted_union.loss)
+        assert np.array_equal(
+            rec.strategy.dense(), fitted_union.strategy.dense()
+        )
+        assert rec.strategy.sensitivity() == fitted_union.strategy.sensitivity()
+
+    def test_loaded_strategy_is_serve_ready(
+        self, tmp_path, union_workload, fitted_union
+    ):
+        """The union Gram inverse factor cache must be attached on load —
+        no re-factorization before the first solve."""
+        reg = StrategyRegistry(tmp_path / "reg")
+        key = reg.put(union_workload, fitted_union.strategy)
+        rec = reg.load(key)
+        assert rec.meta["solver_state"]
+        op = rec.strategy.cache_get("union_gram_inverse")
+        assert op is not None and not isinstance(op, str)
+        G = rec.strategy.gram().dense()
+        n = rec.strategy.shape[1]
+        assert np.allclose(op.dense() @ G, np.eye(n), atol=1e-8)
+
+    def test_get_miss_returns_none(self, tmp_path):
+        reg = StrategyRegistry(tmp_path / "reg")
+        assert reg.get(Prefix(8)) is None
+        with pytest.raises(KeyError):
+            reg.load("deadbeef")
+
+    def test_delete(self, tmp_path, union_workload, fitted_union):
+        reg = StrategyRegistry(tmp_path / "reg")
+        key = reg.put(union_workload, fitted_union.strategy)
+        reg.delete(key)
+        assert key not in reg and len(reg) == 0
+        with pytest.raises(KeyError):
+            reg.delete(key)
+
+    def test_manifest_survives_reopen(self, tmp_path, union_workload, fitted_union):
+        root = tmp_path / "reg"
+        key = StrategyRegistry(root).put(union_workload, fitted_union.strategy)
+        reopened = StrategyRegistry(root)
+        assert key in reopened
+        assert reopened.entry(key)["shape"] == list(
+            fitted_union.strategy.shape
+        )
+
+    def test_template_separates_entries(self, tmp_path, union_workload, fitted_union):
+        reg = StrategyRegistry(tmp_path / "reg")
+        k1 = reg.put(union_workload, fitted_union.strategy, template="opt_union")
+        k2 = reg.put(union_workload, fitted_union.strategy, template="opt_kron")
+        assert k1 != k2 and len(reg) == 2
+
+    def test_cache_disabled_put_does_not_poison_loaded_strategy(
+        self, tmp_path, union_workload
+    ):
+        """A put() under globally-disabled memoization records 'unknown',
+        not 'unavailable': the loaded strategy must still find its exact
+        structured Gram inverse on first use."""
+        from repro.core.solvers import union_gram_inverse
+        from repro.linalg import set_cache_enabled
+
+        result = opt_union(union_workload, rng=0)
+        reg = StrategyRegistry(tmp_path / "reg")
+        prev = set_cache_enabled(False)
+        try:
+            key = reg.put(union_workload, result.strategy)
+        finally:
+            set_cache_enabled(prev)
+        assert not reg.entry(key)["solver_state"]
+        rec = reg.load(key)
+        assert union_gram_inverse(rec.strategy) is not None
+
+
+class TestAccountant:
+    def test_sequential_composition_sums(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 2.0)
+        acct.charge("d", 0.5)
+        acct.charge("d", np.array([0.25, 0.25]))
+        assert acct.spent("d") == pytest.approx(1.0)
+        assert acct.remaining("d") == pytest.approx(1.0)
+
+    def test_parallel_composition_takes_max(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 1.0)
+        acct.charge_parallel("d", np.array([0.2, 0.7, 0.5]))
+        assert acct.spent("d") == pytest.approx(0.7)
+
+    def test_exhaustion_raises_and_leaves_ledger_clean(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 1.0)
+        acct.charge("d", 0.8)
+        with pytest.raises(BudgetExceededError):
+            acct.charge("d", 0.5)
+        assert acct.spent("d") == pytest.approx(0.8)
+        assert len(acct.ledger) == 1
+
+    def test_check_does_not_debit(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 1.0)
+        assert acct.check("d", 0.9) == pytest.approx(0.9)
+        assert acct.spent("d") == 0.0
+        with pytest.raises(BudgetExceededError):
+            acct.check("d", 1.5)
+
+    def test_unknown_dataset_and_default_cap(self):
+        with pytest.raises(KeyError):
+            PrivacyAccountant().charge("nope", 0.1)
+        acct = PrivacyAccountant(default_cap=1.0)
+        acct.charge("auto", 0.4)
+        assert acct.cap("auto") == 1.0
+
+    def test_cap_cannot_shrink_below_spent(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 2.0)
+        acct.charge("d", 1.5)
+        with pytest.raises(ValueError):
+            acct.register("d", 1.0)
+        acct.register("d", 3.0)  # extending is fine
+        assert acct.cap("d") == 3.0
+
+    def test_epsilon_validation(self):
+        acct = PrivacyAccountant()
+        acct.register("d", 1.0)
+        for bad in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                acct.charge("d", bad)
+        with pytest.raises(ValueError):
+            PrivacyAccountant().register("d", -2.0)
+
+
+class TestMeasuredSpan:
+    def test_full_rank_strategy_spans_everything(self, rng, fitted_union):
+        A = fitted_union.strategy
+        q = rng.standard_normal(A.shape[1])
+        assert in_measured_span(A, q)
+        assert in_measured_span(A, Identity(A.shape[1]))
+
+    def test_marginals_strategy_partial_span(self):
+        theta = np.zeros(4)
+        theta[0b10] = 1.0  # measure only the first-attribute marginal
+        A = MarginalsStrategy((3, 3), theta)
+        assert in_measured_span(A, Kronecker([Identity(3), Ones(1, 3)]))
+        assert in_measured_span(A, Kronecker([Ones(1, 3), Ones(1, 3)]))
+        assert not in_measured_span(A, Kronecker([Ones(1, 3), Identity(3)]))
+        assert not in_measured_span(A, Identity(9))
+
+    def test_shape_mismatch_is_not_in_span(self, fitted_union):
+        assert not in_measured_span(fitted_union.strategy, np.ones(3))
+
+
+class TestQueryService:
+    def _service(self, tmp_path, cap=10.0, **kwargs):
+        reg = StrategyRegistry(tmp_path / "reg")
+        acct = PrivacyAccountant()
+        svc = QueryService(
+            registry=reg,
+            accountant=acct,
+            restarts=1,
+            rng=0,
+            template="opt_union",
+            **kwargs,
+        )
+        return svc, reg, acct
+
+    def test_end_to_end_persistence_acceptance(self, tmp_path, union_workload):
+        """The PR acceptance contract: fit a union-of-Kronecker strategy,
+        persist it, reload in a *fresh* QueryService, and serve an
+        ε-sweep bit-identical to the in-memory ``run_batch(exact=True)``
+        path at the same seeds; span queries debit nothing; cap overruns
+        raise before any noise is drawn."""
+        W = union_workload
+        x = np.random.default_rng(3).poisson(50, W.shape[1]).astype(float)
+        result = opt_union(W, rng=0)
+
+        # Fit once and persist.
+        reg = StrategyRegistry(tmp_path / "reg")
+        reg.put(W, result.strategy, loss=result.loss, template="opt_union")
+
+        # "Restart the process": a fresh service over the same directory.
+        acct = PrivacyAccountant()
+        svc = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=acct,
+            restarts=1,
+            rng=0,
+            template="opt_union",
+        )
+        svc.add_dataset("adult", x, epsilon_cap=10.0)
+
+        eps = np.array([0.5, 1.0, 2.0])
+        served = svc.measure(
+            "adult", W, eps, trials=2, rng=11, exact=True, warm_start=False
+        )
+        assert served.from_registry
+
+        # Reference: the in-memory mechanism at the same seeds.
+        mech = HDMM(restarts=1, rng=0)
+        mech.workload, mech.strategy, mech.result = W, result.strategy, result
+        ref = mech.run_batch(x, eps, trials=2, rng=11, exact=True, warm_start=False)
+        assert np.array_equal(served.answers, ref)
+        assert acct.spent("adult") == pytest.approx(2 * eps.sum())
+
+        # Zero-debit span query.
+        q = np.zeros(W.shape[1])
+        q[:5] = 1.0
+        spent_before = acct.spent("adult")
+        ans = svc.query("adult", q)
+        assert ans.hit
+        assert acct.spent("adult") == spent_before
+
+        # Cap overrun raises before any noise is drawn.
+        recons_before = svc.reconstructions("adult")
+        with pytest.raises(BudgetExceededError):
+            svc.measure("adult", W, eps=100.0, rng=11)
+        assert acct.spent("adult") == spent_before
+        assert svc.reconstructions("adult") == recons_before
+
+    def test_cold_fit_populates_registry(self, tmp_path):
+        svc, reg, acct = self._service(tmp_path)
+        W = workload.range_total_union(8)
+        x = np.arange(W.shape[1], dtype=float)
+        svc.add_dataset("d", x, epsilon_cap=10.0)
+        served = svc.measure("d", W, eps=1.0, rng=0)
+        assert not served.from_registry
+        assert served.key in reg
+        # Second service over the same directory loads instead of fitting.
+        svc2 = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=PrivacyAccountant(default_cap=10.0),
+            restarts=1,
+            rng=0,
+            template="opt_union",
+        )
+        svc2.add_dataset("d", x)
+        assert svc2.measure("d", W, eps=1.0, rng=0).from_registry
+
+    def test_query_miss_raises_without_spending(self, tmp_path):
+        svc, _, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(16), epsilon_cap=1.0)
+        with pytest.raises(QueryMiss):
+            svc.query("d", np.ones(16))
+        assert acct.spent("d") == 0.0
+
+    def test_answer_batches_misses_and_serves_hits_free(self, tmp_path):
+        svc, _, acct = self._service(tmp_path)
+        W = workload.range_total_union(8)
+        n = W.shape[1]
+        x = np.random.default_rng(0).poisson(30, n).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=10.0)
+        svc.measure("d", W, eps=1.0, rng=1)
+        spent = acct.spent("d")
+
+        q_hit = np.zeros(n)
+        q_hit[:3] = 1.0
+        q_miss_a = np.ones(n)
+        q_miss_b = np.zeros(n)
+        q_miss_b[::2] = 2.0
+        # All three lie in the (full-rank) measured span, so serve free...
+        batch = svc.answer("d", [q_hit, q_miss_a, q_miss_b])
+        assert batch.hits == 3 and batch.misses == 0 and batch.charged == 0.0
+        assert acct.spent("d") == spent
+
+        # ...while a fresh dataset with no reconstruction pays once for
+        # the whole miss batch.
+        svc.add_dataset("cold", x, epsilon_cap=10.0)
+        batch = svc.answer("cold", [q_hit, q_miss_a], eps=0.5, rng=2)
+        assert batch.hits == 0 and batch.misses == 2
+        assert batch.charged == pytest.approx(0.5)
+        assert acct.spent("cold") == pytest.approx(0.5)
+        assert all(not a.hit for a in batch.answers)
+        # Answers line up query-by-query with the joint measurement.
+        assert batch.answers[0].values.shape == (1,)
+        assert batch.answers[1].values.shape == (1,)
+
+    def test_answer_without_eps_raises_on_miss(self, tmp_path):
+        svc, _, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=1.0)
+        with pytest.raises(QueryMiss):
+            svc.answer("d", [np.ones(8)])
+        assert acct.spent("d") == 0.0
+
+    def test_rank_deficient_cache_rejects_out_of_span_queries(self, tmp_path):
+        """A marginals measurement only serves queries it supports —
+        others must miss rather than return garbage.  The registry is
+        pre-seeded with a deliberately rank-deficient strategy (only the
+        first-attribute marginal measured) so the case is deterministic."""
+        reg = StrategyRegistry(tmp_path / "reg")
+        acct = PrivacyAccountant()
+        svc = QueryService(registry=reg, accountant=acct, restarts=1, rng=0)
+        W = Kronecker([Identity(3), Ones(1, 3)])  # first-attribute marginal
+        theta = np.zeros(4)
+        theta[0b10] = 1.0
+        A = MarginalsStrategy((3, 3), theta)
+        reg.put(W, A, template=svc.template)
+        x = np.random.default_rng(5).poisson(20, 9).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        served = svc.measure("d", W, eps=1.0, rng=3)
+        assert served.from_registry
+        with pytest.raises(QueryMiss):
+            svc.query("d", Identity(9))  # full contingency: unsupported
+        with pytest.raises(QueryMiss):
+            svc.query("d", Kronecker([Ones(1, 3), Identity(3)]))
+        assert svc.query("d", W).hit
+        assert svc.query("d", Kronecker([Ones(1, 3), Ones(1, 3)])).hit
+
+    def test_shape_mismatch_raises_before_any_debit(self, tmp_path):
+        """A programming error (wrong dataset/workload pairing) must not
+        burn budget."""
+        svc, _, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(16), epsilon_cap=2.0)
+        with pytest.raises(ValueError, match="does not match"):
+            svc.measure("d", workload.range_total_union(8), eps=1.5)
+        assert acct.spent("d") == 0.0
+
+    def test_answer_rejects_grids_and_trials(self, tmp_path):
+        svc, _, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=5.0)
+        with pytest.raises(ValueError, match="scalar"):
+            svc.answer("d", [np.ones(8)], eps=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="trials"):
+            svc.answer("d", [np.ones(8)], eps=1.0, trials=3)
+        assert acct.spent("d") == 0.0
+
+    def test_low_eps_remeasure_keeps_accurate_reconstruction(self, tmp_path):
+        svc, _, _ = self._service(tmp_path)
+        W = workload.range_total_union(8)
+        x = np.random.default_rng(2).poisson(30, W.shape[1]).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=30.0)
+        served = svc.measure("d", W, eps=10.0, rng=1)
+        good = svc._datasets["d"].reconstructions[served.key]
+        svc.measure("d", W, eps=0.1, rng=2)
+        kept = svc._datasets["d"].reconstructions[served.key]
+        assert kept.eps == 10.0
+        assert np.array_equal(kept.x_hat, good.x_hat)
+        # A better measurement does replace the cache.
+        svc.measure("d", W, eps=[0.5, 12.0], rng=3)
+        assert svc._datasets["d"].reconstructions[served.key].eps == 12.0
+
+    def test_dataset_validation(self, tmp_path):
+        svc, _, _ = self._service(tmp_path)
+        with pytest.raises(KeyError):
+            svc.measure("ghost", Prefix(4), eps=1.0)
+        with pytest.raises(ValueError):
+            svc.add_dataset("d", np.ones((2, 2)))
+        svc_no_acct = QueryService(registry=None, accountant=None)
+        with pytest.raises(ValueError):
+            svc_no_acct.add_dataset("d", np.ones(4), epsilon_cap=1.0)
+
+    def test_eps_validation(self, tmp_path):
+        svc, _, _ = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=1.0)
+        for bad in (0.0, -1.0, np.inf):
+            with pytest.raises(ValueError):
+                svc.measure("d", Prefix(8), eps=bad)
+
+    def test_memoryless_service_without_registry(self):
+        svc = QueryService(registry=None, accountant=None, restarts=1, rng=0)
+        W = Prefix(8)
+        svc.add_dataset("d", np.arange(8, dtype=float))
+        served = svc.measure("d", W, eps=1.0, rng=0)
+        assert not served.from_registry
+        # Memoized in-process: the second prepare is a hit.
+        assert svc.measure("d", W, eps=1.0, rng=0).from_registry
+
+
+class TestValidateEpsilonCentralized:
+    """Satellite: the shared validator guards every ε entry point."""
+
+    def test_measure_rejects_nonfinite(self):
+        from repro.core.measure import laplace_measure, laplace_measure_batch
+
+        A = Identity(4)
+        for bad in (np.inf, np.nan, 0.0, -1.0):
+            with pytest.raises(ValueError):
+                laplace_measure(A, np.zeros(4), bad)
+        with pytest.raises(ValueError):
+            laplace_measure_batch(A, np.zeros(4), np.array([1.0, np.inf]))
+
+    def test_expected_error_rejects_nonfinite(self):
+        from repro.core import expected_error
+
+        with pytest.raises(ValueError):
+            expected_error(Prefix(4), Identity(4), np.inf)
+
+    def test_run_batch_rejects_nonfinite(self):
+        mech = HDMM(restarts=1, rng=0).fit(Prefix(8))
+        with pytest.raises(ValueError):
+            mech.run_batch(np.zeros(8), eps=np.array([1.0, np.nan]))
+
+    def test_validator_accepts_grids(self):
+        from repro.core import validate_epsilon
+
+        out = validate_epsilon(np.array([0.1, 1.0]))
+        assert out.dtype == np.float64 and out.shape == (2,)
+        assert float(validate_epsilon(2)) == 2.0
+        with pytest.raises(ValueError):
+            validate_epsilon([])
+        with pytest.raises(ValueError):
+            validate_epsilon("abc")
