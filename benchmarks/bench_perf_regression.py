@@ -36,6 +36,15 @@ regress against it:
   ``warm_load_speedup`` is the amortization the registry buys every
   process after the first.
 
+* **serving_multiblock** (PR 4) — the L ≥ 3 union Gram solver: an
+  SF-1-style ``opt_union(groups=4)`` strategy over a ≥ 4096 domain
+  served through a 20-trial x 5-ε sweep, comparing the pre-PR cold-CG
+  path (plain CG from scratch per column) against the new auto path
+  (dominant-pair preconditioner + warm starts + Ritz-vector subspace
+  recycling on cold solves).  Records iteration counts with/without
+  preconditioning and recycling, the LSMR cross-check deviation, and the
+  ``exact=True`` same-seed determinism contract for recycled solves.
+
 Run directly for the paper-style report; ``--quick`` shrinks restarts and
 repetitions for smoke runs (and regresses the serving speedup against the
 previously recorded ``BENCH_PERF.json``); ``--json`` controls the output
@@ -240,6 +249,153 @@ def bench_serving(
     }
 
 
+def _multiblock_workload(n: int):
+    """An SF-1-style union with four structural signatures over an n³
+    domain: population total, a one-way identity margin, a trailing
+    range margin, and a two-way tabulation — ``partition_products``
+    groups them by signature, so ``opt_union(groups=4)`` yields a
+    four-block union strategy (the L ≥ 3 shape ROADMAP left on the
+    cold-CG path)."""
+    from repro.linalg import AllRange, Identity, Kronecker, Ones, VStack
+
+    I, T, R = Identity(n), Ones(1, n), AllRange(n)
+    return VStack(
+        [
+            Kronecker([T, T, T]),
+            Kronecker([I, T, T]),
+            Kronecker([T, T, R]),
+            Kronecker([I, I, T]),
+        ]
+    )
+
+
+def bench_serving_multiblock(
+    n: int = 16, trials: int = 20, n_eps: int = 5, rng: int = 11
+) -> dict:
+    """L ≥ 3 union serving: preconditioned+recycled path vs cold CG."""
+    from scipy.sparse.linalg import LinearOperator, lsmr
+
+    from repro.core import HDMM, answer_workload
+    from repro.core.measure import laplace_measure_batch
+    from repro.core.solvers import (
+        GramRecycleState,
+        cg_gram_solve,
+        gram_recycle_state,
+        union_gram_preconditioner,
+    )
+    from repro.optimize import opt_union
+
+    W = _multiblock_workload(n)
+    result = opt_union(W, rng=0, groups=4)
+    A = result.strategy
+    assert len(A.blocks) == 4, "expected a 4-block union strategy"
+    mech = HDMM(restarts=1, rng=0)
+    mech.workload, mech.strategy, mech.result = W, A, result
+
+    x = np.random.default_rng(3).poisson(50, W.shape[1]).astype(float)
+    eps_grid = np.logspace(-1, 1, n_eps)
+    T = n_eps * trials
+    mech.run(x, 1.0, rng=0)  # warm Gram + preconditioner caches, as fit() leaves them
+
+    # Iteration counts on one sweep's normal equations (same noise the
+    # timed paths see: run_batch draws per-trial seeds the same way).
+    Y = laplace_measure_batch(A, x, np.repeat(eps_grid, trials), rng=rng)
+    B = A.rmatmat(Y)
+    G = A.gram()
+    M = union_gram_preconditioner(A)
+    iters_plain = int(cg_gram_solve(G, B).iterations.sum())
+    iters_pre = int(cg_gram_solve(G, B, preconditioner=M).iterations.sum())
+    # Recycled serving pattern: the cold first block is deflated by the
+    # recycled basis, warm-started blocks carry the sweep; repeat sweeps
+    # with *fresh* noise show the basis cutting later cold solves as the
+    # harvest accumulates coverage of the Gram's degenerate clusters.
+    state = GramRecycleState()
+    sweep_iters, cold_block_iters = [], []
+    for s in range(3):
+        B_s = B if s == 0 else A.rmatmat(
+            laplace_measure_batch(A, x, np.repeat(eps_grid, trials), rng=rng + s)
+        )
+        prev, tot = None, 0
+        for e in range(n_eps):
+            blk = np.ascontiguousarray(B_s[:, e * trials : (e + 1) * trials])
+            if prev is None:
+                res = cg_gram_solve(G, blk, preconditioner=M, recycle=state)
+                cold_block_iters.append(int(res.iterations.sum()))
+            else:
+                res = cg_gram_solve(G, blk, x0=prev, preconditioner=M)
+            prev = res.x
+            tot += int(res.iterations.sum())
+        sweep_iters.append(tot)
+
+    # Wall clock: the pre-PR cold-CG path (plain CG from scratch per
+    # column) vs the new auto path (preconditioner + warm starts +
+    # recycling), on identical measurements.
+    with Timer() as t_cold:
+        cold_answers = mech.run_batch(
+            x, eps_grid, trials=trials, rng=rng, method="cg", warm_start=False
+        )
+    gram_recycle_state(A).reset()
+    with Timer() as t_fast:
+        fast_answers = mech.run_batch(x, eps_grid, trials=trials, rng=rng)
+
+    # Independent LSMR cross-check on the first trial of each ε block.
+    op = LinearOperator(
+        shape=A.shape, matvec=A.matvec, rmatvec=A.rmatvec, dtype=np.float64
+    )
+    fast_flat = fast_answers.reshape(T, -1)
+    check_cols = [e * trials for e in range(n_eps)]
+    lsmr_answers = np.stack(
+        [
+            answer_workload(
+                W,
+                lsmr(
+                    op,
+                    np.ascontiguousarray(Y[:, j]),
+                    atol=1e-10,
+                    btol=1e-10,
+                )[0],
+            )
+            for j in check_cols
+        ]
+    )
+    scale = float(np.max(np.abs(lsmr_answers)))
+    dev_lsmr = float(
+        np.max(np.abs(fast_flat[check_cols] - lsmr_answers)) / scale
+    )
+
+    # exact=True determinism: two identical fresh runs (fresh strategy
+    # fit, fresh recycle basis) must agree to the last bit.
+    def fresh_exact_run():
+        W2 = _multiblock_workload(n)
+        res2 = opt_union(W2, rng=0, groups=4)
+        m2 = HDMM(restarts=1, rng=0)
+        m2.workload, m2.strategy, m2.result = W2, res2.strategy, res2
+        return m2.run_batch(x, eps_grid, trials=trials, rng=rng, exact=True)
+
+    bit_identical = bool(np.array_equal(fresh_exact_run(), fresh_exact_run()))
+
+    return {
+        "workload": f"sf1-style-4sig-union-{n}^3",
+        "strategy": repr(A),
+        "domain": A.shape[1],
+        "groups": 4,
+        "trials": trials,
+        "eps_grid": [round(float(e), 4) for e in eps_grid],
+        "cg_cold_seconds": round(t_cold.elapsed, 4),
+        "preconditioned_seconds": round(t_fast.elapsed, 4),
+        "speedup_vs_cold_cg": round(t_cold.elapsed / t_fast.elapsed, 2),
+        "iterations": {
+            "plain_cg": iters_plain,
+            "preconditioned": iters_pre,
+            "preconditioned_recycled_sweeps": sweep_iters,
+            "cold_block_per_sweep": cold_block_iters,
+        },
+        "recycle_basis_vectors": gram_recycle_state(A).size,
+        "max_rel_dev_vs_lsmr": dev_lsmr,
+        "answers_bit_identical": bit_identical,
+    }
+
+
 def bench_service(n: int = 64, restarts: int = 5, query_reps: int = 50) -> dict:
     """Registry cold-fit vs warm-load, and free-query-hit latency."""
     import shutil
@@ -312,6 +468,10 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
         "service": bench_service(n=32 if quick else 64,
                                  restarts=2 if quick else 5,
                                  query_reps=10 if quick else 50),
+        "serving_multiblock": bench_serving_multiblock(
+            n=8 if quick else 16,
+            trials=5 if quick else 20,
+            n_eps=3 if quick else 5),
     }
     return results
 
@@ -392,6 +552,17 @@ def main() -> None:
         ],
         ["service free-query hit", f"{v['free_query_hit_ms']:.2f}ms", "zero budget"],
     ]
+    mb = results["serving_multiblock"]
+    rows += [
+        ["multiblock cold CG", f"{mb['cg_cold_seconds']:.2f}s",
+         f"{mb['iterations']['plain_cg']} iters"],
+        [
+            "multiblock precond+recycled",
+            f"{mb['preconditioned_seconds']:.3f}s",
+            f"{mb['speedup_vs_cold_cg']:.1f}x vs cold CG, "
+            f"{mb['iterations']['preconditioned']} iters",
+        ],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -405,6 +576,11 @@ def main() -> None:
     print(
         "serving answers bit-identical to single-shot loop: "
         f"{s['answers_bit_identical']}"
+    )
+    print(
+        "multiblock exact=True same-seed answers bit-identical: "
+        f"{mb['answers_bit_identical']} "
+        f"(max rel dev vs LSMR {mb['max_rel_dev_vs_lsmr']:.2e})"
     )
     regression = check_serving_regression(results, args.json)
     if regression:
@@ -439,6 +615,33 @@ def test_bench_service_smoke():
         recorded = json.load(f)
     assert recorded["service"]["warm_load_speedup"] > 5.0
     assert recorded["service"]["free_query_budget_spent"] == 0.0
+
+
+def test_bench_serving_multiblock_smoke():
+    """Quick multiblock case: the L ≥ 3 union contracts must hold — the
+    preconditioner cuts CG iterations, recycling cuts the second sweep's
+    cold solve, answers match the LSMR cross-check, and the exact=True
+    same-seed determinism contract holds."""
+    mb = bench_serving_multiblock(n=8, trials=5, n_eps=3)
+    it = mb["iterations"]
+    assert it["preconditioned"] < it["plain_cg"]
+    # Recycling must cut the cold solve once the harvested basis has
+    # accumulated coverage; the wall-clock speedup is only meaningful at
+    # the full benchmark size, where per-iteration work dominates the
+    # solver bookkeeping.
+    cold = it["cold_block_per_sweep"]
+    assert cold[-1] <= cold[0]
+    assert mb["max_rel_dev_vs_lsmr"] < 1e-8
+    assert mb["answers_bit_identical"]
+    # The committed trajectory must already carry the acceptance-level
+    # multiblock record, so this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    rec = recorded["serving_multiblock"]
+    assert rec["domain"] >= 4096 and rec["groups"] == 4
+    assert rec["speedup_vs_cold_cg"] >= 3.0
+    assert rec["max_rel_dev_vs_lsmr"] <= 1e-8
+    assert rec["answers_bit_identical"]
 
 
 def test_bench_serving_smoke():

@@ -28,15 +28,19 @@ from .reconstruct import (
 )
 from .solvers import (
     CGResult,
+    GramRecycleState,
     cg_gram_solve,
     export_gram_solver_state,
+    gram_recycle_state,
     restore_gram_solver_state,
     union_gram_inverse,
+    union_gram_preconditioner,
     validate_epsilon,
 )
 
 __all__ = [
     "CGResult",
+    "GramRecycleState",
     "DENSE_PINV_LIMIT",
     "HDMM",
     "PrivacyLedger",
@@ -46,6 +50,7 @@ __all__ = [
     "expected_error",
     "export_gram_solver_state",
     "gram_inverse_trace",
+    "gram_recycle_state",
     "has_structured_pinv",
     "laplace_mechanism_error",
     "laplace_measure",
@@ -58,6 +63,7 @@ __all__ = [
     "restore_gram_solver_state",
     "rootmse",
     "union_gram_inverse",
+    "union_gram_preconditioner",
     "validate_epsilon",
     "sensitivity_of",
     "squared_error",

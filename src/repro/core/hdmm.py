@@ -152,7 +152,13 @@ class HDMM:
         operator is then applied one contiguous column at a time (the
         same arithmetic as the loop, different orchestration).  The
         default fast mode (``exact=False``) batches the BLAS width and
-        agrees with the loop to solver tolerance.
+        agrees with the loop to solver tolerance.  One scoping note: for
+        L ≥ 3 union strategies the auto solver recycles a deflation
+        basis across solves (:mod:`repro.core.solvers`), which couples a
+        solve to the batch composition of *earlier* solves on the same
+        strategy instance — there the ``exact=True`` guarantee is
+        same-seed reproducibility (identical fresh runs are
+        bit-identical), with loop-vs-batch agreement at solver tolerance.
 
         Privacy: each trial is ε-DP for its own budget; a full sweep
         spends the sum of its trials' budgets under sequential

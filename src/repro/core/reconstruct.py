@@ -11,8 +11,12 @@ never materializes A or A⁺:
 * union-of-product strategies — no structured pseudo-inverse exists, so
   the normal equations ``(AᵀA) x̄ = Aᵀy`` are solved by conjugate
   gradients (:mod:`repro.core.solvers`) with the strategy's *cached* Gram
-  operator as the iteration operator; LSMR remains as the fallback for
-  columns CG cannot converge and as an independent cross-check.
+  operator as the iteration operator.  One- and two-block unions (the
+  paper's OPT_+ instantiation) short-circuit to the exact two-term Gram
+  inverse; L ≥ 3 unions run CG preconditioned by the dominant-pair
+  inverse with Ritz-vector subspace recycling across solves.  LSMR
+  remains as the fallback for columns CG cannot converge and as an
+  independent cross-check.
 
 Every solve accepts a whole batch of right-hand sides: structured
 pseudo-inverses are applied through ``matmat``/``kmatmat`` rather than
@@ -30,7 +34,9 @@ from ..optimize.opt0 import PIdentity
 from .solvers import (
     apply_columnwise as _apply_columnwise,
     cg_gram_solve,
+    gram_recycle_state,
     union_gram_inverse,
+    union_gram_preconditioner,
     validate_maxiter,
     validate_tolerance,
 )
@@ -236,6 +242,7 @@ def least_squares(
     else:
         B = A.rmatmat(Y)
 
+    preconditioner = recycle = None
     if method == "auto":
         # Two-term unions (the paper's OPT_+ output) have an exact
         # structured Gram inverse — two Kronecker mat-mats per solve.
@@ -246,11 +253,26 @@ def least_squares(
             else:
                 X = Ginv.matmat(B)
             return X[:, 0] if single else X
+        # L ≥ 3 unions: CG preconditioned by the dominant-pair inverse,
+        # with Ritz-vector recycling across *cold* solves of the same
+        # strategy (first ε block of each sweep, service miss batches) —
+        # warm-started blocks already carry sweep context in x0, and
+        # deflation would fight it.  method="cg" stays plain.
+        preconditioner = union_gram_preconditioner(A)
+        if preconditioner is not None and x0 is None:
+            recycle = gram_recycle_state(A)
 
     # CG (method "cg" or the general "auto" fallback), then LSMR for any
     # column CG could not converge.
     result = cg_gram_solve(
-        A.gram(), B, x0=x0, rtol=rtol, maxiter=maxiter, columnwise=columnwise
+        A.gram(),
+        B,
+        x0=x0,
+        rtol=rtol,
+        maxiter=maxiter,
+        columnwise=columnwise,
+        preconditioner=preconditioner,
+        recycle=recycle,
     )
     X = result.x
     if not result.converged.all():

@@ -24,10 +24,19 @@ from .opt_general import general_loss_and_grad, opt_general
 from .opt_kron import default_p, opt_kron
 from .opt_marginals import marginals_loss_and_grad, opt_marginals
 from .opt_union import opt_union, partition_products
-from .parallel import reduce_best, resolve_workers, run_tasks, spawn_generators, spawn_seeds
+from .parallel import (
+    PROCESS_SIZE_THRESHOLD,
+    reduce_best,
+    resolve_executor,
+    resolve_workers,
+    run_tasks,
+    spawn_generators,
+    spawn_seeds,
+)
 
 __all__ = [
     "OptResult",
+    "PROCESS_SIZE_THRESHOLD",
     "PIdentity",
     "default_operators",
     "default_p",
@@ -43,6 +52,7 @@ __all__ = [
     "partition_products",
     "pidentity_loss_and_grad",
     "reduce_best",
+    "resolve_executor",
     "resolve_workers",
     "run_tasks",
     "spawn_generators",

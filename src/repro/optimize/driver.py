@@ -133,7 +133,13 @@ def opt_hdmm(
         for (name, op), seed in zip(operators, op_seeds):
             tasks.append((W, op, seed))
             labels.append((s, name))
-    results = run_tasks(_run_operator, tasks, workers=workers, executor=executor)
+    results = run_tasks(
+        _run_operator,
+        tasks,
+        workers=workers,
+        executor=executor,
+        size_hint=W.shape[1],
+    )
 
     if verbose:
         for (s, name), result in zip(labels, results):

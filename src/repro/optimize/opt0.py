@@ -279,6 +279,7 @@ def opt_0(
         [(V, theta0, maxiter) for theta0 in inits],
         workers=workers,
         executor=executor,
+        size_hint=n,
     )
     idx = best_index([loss for loss, _ in results])
     best_loss, best_theta = (np.inf, None) if idx is None else results[idx]

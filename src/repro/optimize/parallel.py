@@ -12,11 +12,19 @@ workers without giving up reproducibility:
   order they finish: ``workers=1`` and ``workers=8`` produce bit-identical
   losses for the same seed.
 * **Executors** — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
-  path (the default: the heavy lifting inside restarts is BLAS/LAPACK
-  work that releases the GIL) and a
+  path (the heavy lifting inside restarts is BLAS/LAPACK work that
+  releases the GIL) and a
   :class:`~concurrent.futures.ProcessPoolExecutor` path for pure-Python
   dominated problems, with a transparent fallback to threads when the
-  task or its payload cannot be pickled.
+  task or its payload cannot be pickled.  ``executor="auto"`` picks
+  processes when the caller's ``size_hint`` (domain size) reaches
+  :data:`PROCESS_SIZE_THRESHOLD` *and* the host has more than one CPU —
+  large domains spend enough time holding the GIL (Python-level factor
+  bookkeeping, scipy wrappers) that fork + pickle pays for itself —
+  and stays with threads otherwise.  Note the 1-CPU CI container this
+  trajectory is benchmarked on never takes the process branch: all
+  recorded ``BENCH_PERF.json`` numbers are thread-executor numbers, and
+  multi-core hosts should re-benchmark ``executor="process"``.
 * **Reduction** — :func:`reduce_best` picks the minimum-loss result, with
   ties broken by the lowest task index, so the winner is deterministic
   even when several restarts reach the same optimum.
@@ -33,13 +41,43 @@ from typing import Any
 import numpy as np
 
 __all__ = [
+    "PROCESS_SIZE_THRESHOLD",
     "best_index",
     "reduce_best",
+    "resolve_executor",
     "resolve_workers",
     "run_tasks",
     "spawn_generators",
     "spawn_seeds",
 ]
+
+#: Domain size at which ``executor="auto"`` prefers the process pool on
+#: multi-core hosts.  Below it, fork + payload pickling costs more than
+#: the GIL contention it removes (restarts are BLAS-dominated).
+PROCESS_SIZE_THRESHOLD = 1 << 16
+
+
+def resolve_executor(executor: str, size_hint: int | None = None) -> str:
+    """Resolve an ``executor`` argument to ``"thread"`` or ``"process"``.
+
+    ``"auto"`` picks the process pool only when both hold: the problem is
+    large (``size_hint``, typically the domain size N, at or above
+    :data:`PROCESS_SIZE_THRESHOLD`) and the host has more than one CPU.
+    On a single CPU, processes add serialization cost with zero
+    parallelism to gain — the 1-CPU CI container therefore always
+    records thread-executor numbers.
+    """
+    if executor not in ("auto", "thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    if executor != "auto":
+        return executor
+    if (
+        size_hint is not None
+        and size_hint >= PROCESS_SIZE_THRESHOLD
+        and (os.cpu_count() or 1) > 1
+    ):
+        return "process"
+    return "thread"
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -104,6 +142,7 @@ def run_tasks(
     payloads: Sequence[Any],
     workers: int | None = 1,
     executor: str = "auto",
+    size_hint: int | None = None,
 ) -> list[Any]:
     """Run ``fn`` over ``payloads``, returning results in payload order.
 
@@ -116,24 +155,26 @@ def run_tasks(
     workers:
         Maximum concurrent tasks; ``<= 1`` runs sequentially in order.
     executor:
-        ``"auto"`` (threads — restart workloads are dominated by
-        GIL-releasing BLAS/LAPACK calls), ``"thread"``, or ``"process"``.
-        A process pool request silently falls back to threads when ``fn``
-        or a payload cannot be pickled, so callers may always pass user
-        -supplied closures.
+        ``"auto"`` (threads, switching to processes for large domains on
+        multi-core hosts — see :func:`resolve_executor`), ``"thread"``,
+        or ``"process"``.  A process pool request silently falls back to
+        threads when ``fn`` or a payload cannot be pickled, so callers
+        may always pass user-supplied closures.
+    size_hint:
+        Problem-size hint for ``executor="auto"`` (the optimizers pass
+        the domain size N); ``None`` keeps auto on threads.
 
     Results are collected per payload index, so the output order (and any
     reduction over it) is independent of completion order.
     """
     workers = resolve_workers(workers)
+    kind = resolve_executor(executor, size_hint)
     if workers <= 1 or len(payloads) <= 1:
         return [fn(p) for p in payloads]
-    if executor not in ("auto", "thread", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
     # Probe one representative payload only — the optimizers build
     # homogeneous payload lists sharing the same workload object, so
     # serializing all of them up-front would double the pickling cost.
-    if executor == "process" and _is_picklable(fn) and _is_picklable(payloads[0]):
+    if kind == "process" and _is_picklable(fn) and _is_picklable(payloads[0]):
         pool_cls = ProcessPoolExecutor
     else:
         pool_cls = ThreadPoolExecutor

@@ -26,6 +26,14 @@ measurement.  The serving rules:
   :meth:`QueryService.answer` routes a mixed batch: cache hits are
   answered free, and the misses are stacked into one ad-hoc union
   workload measured in a single accounted ``run_batch`` pass.
+* **small cold misses skip SELECT entirely** — a one-off miss batch at
+  or below ``direct_miss_threshold`` query rows (touching at most
+  ``DIRECT_MISS_SUPPORT_LIMIT`` domain cells) is not worth a full
+  strategy fit: the service measures a sensitivity-1 selection matrix
+  over the queries' joint support instead (Laplace on the touched cells
+  only), reconstructs by transposition, and caches the result like any
+  other measurement so repeated ad-hoc traffic on the same support
+  becomes free hits.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from ..core.reconstruct import resolves_to_pinv
 from ..core.solvers import (
     cg_gram_solve,
     union_gram_inverse,
+    union_gram_preconditioner,
     validate_epsilon,
     validate_positive_int,
 )
@@ -56,6 +65,34 @@ __all__ = [
     "ServeResult",
     "in_measured_span",
 ]
+
+#: Largest joint query support (touched cells) the cold-miss fast path
+#: will measure directly.  Beyond it the selection strategy stops being
+#: cheap — its dense span-check algebra scales with the support — and a
+#: fitted strategy answers broad queries far more accurately than
+#: noisy per-cell measurements anyway, so wide misses take the full
+#: fitting path regardless of row count.
+DIRECT_MISS_SUPPORT_LIMIT = 256
+
+#: Keyword options :meth:`QueryService.answer` accepts for its miss
+#: measurement.  The fitting path forwards them to ``measure`` →
+#: ``run_batch``; the closed-form direct path has no solver to configure,
+#: but still validates against this set so a misspelled option fails the
+#: same way regardless of which path the batch size selects.
+ANSWER_MEASURE_OPTIONS = frozenset(
+    {
+        "domain",
+        "cache",
+        "method",
+        "warm_start",
+        "exact",
+        "atol",
+        "btol",
+        "maxiter",
+        "rtol",
+        "dense_pinv_limit",
+    }
+)
 
 #: Default relative tolerance for the measured-span membership test.
 #: Structured pseudo-inverse paths (notably the marginals algebra's
@@ -107,7 +144,12 @@ def in_measured_span(A: Matrix, q: Matrix | np.ndarray, tol: float = SPAN_TOL) -
         if Ginv is not None:
             proj = Ginv.matmat(B)
         else:
-            proj = cg_gram_solve(A.gram(), B).x
+            # L ≥ 3 unions: the dominant-pair preconditioner cuts the CG
+            # projection cost.  Its existence implies the Gram is positive
+            # definite (full span), so preconditioning cannot perturb the
+            # rank-deficient projection semantics.
+            M = union_gram_preconditioner(A)
+            proj = cg_gram_solve(A.gram(), B, preconditioner=M).x
     scale = np.maximum(np.abs(Qt).sum(axis=0), 1.0)
     return bool(np.max(np.abs(proj - Qt).max(axis=0) / scale) <= tol)
 
@@ -184,6 +226,13 @@ class QueryService:
     template:
         Template-class tag folded into registry keys (strategies fitted
         under different templates never collide).
+    direct_miss_threshold:
+        Miss batches in :meth:`answer` totalling at most this many query
+        rows (and touching at most :data:`DIRECT_MISS_SUPPORT_LIMIT`
+        domain cells) take the cold-miss fast path: a direct
+        sensitivity-1 selection measurement on the queries' joint support
+        instead of a full strategy fit.  ``0`` disables the fast path
+        (every miss batch runs the fitting template).
     """
 
     def __init__(
@@ -195,6 +244,7 @@ class QueryService:
         template: str = "opt_hdmm",
         span_tol: float = SPAN_TOL,
         fit_kwargs: dict | None = None,
+        direct_miss_threshold: int = 32,
     ):
         self.registry = registry
         self.accountant = accountant
@@ -203,6 +253,16 @@ class QueryService:
         self.template = template
         self.span_tol = float(span_tol)
         self.fit_kwargs = dict(fit_kwargs or {})
+        if (
+            isinstance(direct_miss_threshold, bool)
+            or not isinstance(direct_miss_threshold, (int, np.integer))
+            or direct_miss_threshold < 0
+        ):
+            raise ValueError(
+                "direct_miss_threshold must be a non-negative integer, "
+                f"got {direct_miss_threshold!r}"
+            )
+        self.direct_miss_threshold = int(direct_miss_threshold)
         self._datasets: dict[str, _DatasetState] = {}
         self._prepared: dict[str, tuple[Matrix, float | None]] = {}
 
@@ -388,6 +448,91 @@ class QueryService:
             f"no cached reconstruction of dataset {dataset!r} spans the query"
         )
 
+    def _measure_misses_direct(
+        self,
+        dataset: str,
+        blocks: list[Matrix],
+        eps: float,
+        rng: np.random.Generator | int | None,
+        stage: str,
+        cache: bool = True,
+    ) -> tuple[str, np.ndarray, float] | None:
+        """Cold-miss fast path: direct measurement of the queries' support.
+
+        One-off ad-hoc misses below :attr:`direct_miss_threshold` skip
+        the fitting template entirely.  The strategy is the sensitivity-1
+        selection matrix ``S`` of the miss queries' joint support (a
+        weighted identity restricted to the touched cells), measured once
+        under ``eps``; its pseudo-inverse is ``Sᵀ``, so RECONSTRUCT is a
+        scatter.  Returns ``(key, x̂, charged)`` and caches x̂ under a
+        support-derived key so identical ad-hoc traffic later hits for
+        free — ``in_measured_span`` accepts exactly the queries supported
+        on the measured cells.  Returns ``None`` when the joint support
+        exceeds :data:`DIRECT_MISS_SUPPORT_LIMIT` (a few wide queries can
+        touch the whole domain; measuring — and later span-checking — a
+        domain-sized selection would cost domain-sized dense algebra, and
+        a fitted strategy answers broad queries more accurately): the
+        caller then takes the full fitting path.
+        """
+        import hashlib
+
+        import scipy.sparse as sp
+
+        from ..core.measure import laplace_measure
+        from ..linalg.structured import SparseMatrix
+
+        charged = float(validate_epsilon(eps, "eps"))
+        ds = self._dataset(dataset)
+        n = ds.x.shape[0]
+        support = np.zeros(n, dtype=bool)
+        for Q in blocks:
+            # Row-at-a-time via rmatvec keeps the transient memory O(n):
+            # densifying a whole block first would allocate rows x n
+            # before the support limit below can reject the batch.
+            e = np.zeros(Q.shape[0])
+            for i in range(Q.shape[0]):
+                e[i] = 1.0
+                support |= Q.rmatvec(e) != 0
+                e[i] = 0.0
+        cols = np.flatnonzero(support)
+        if cols.size > DIRECT_MISS_SUPPORT_LIMIT:
+            return None
+        key = f"direct:{hashlib.sha256(cols.tobytes()).hexdigest()[:16]}"
+        if cols.size == 0:
+            # All-zero queries: the answer is the constant 0, independent
+            # of the data — pure post-processing.  Cache the (exact,
+            # budget-free) empty reconstruction so identical traffic
+            # later hits in query() instead of re-entering this path.
+            if cache:
+                S_empty = SparseMatrix(sp.csr_matrix((0, n)))
+                ds.reconstructions.setdefault(
+                    key,
+                    _Reconstruction(
+                        key=key, strategy=S_empty, x_hat=np.zeros(n), eps=np.inf
+                    ),
+                )
+            return key, np.zeros(n), 0.0
+        if self.accountant is not None:
+            self.accountant.charge(
+                dataset, charged, stage=stage or "answer:direct"
+            )
+        S = SparseMatrix(
+            sp.csr_matrix(
+                (np.ones(cols.size), (np.arange(cols.size), cols)),
+                shape=(cols.size, n),
+            )
+        )
+        y = laplace_measure(S, ds.x, charged, rng)
+        x_hat = np.zeros(n)
+        x_hat[cols] = y  # S⁺ = Sᵀ for a selection matrix
+        if cache:
+            existing = ds.reconstructions.get(key)
+            if existing is None or charged >= existing.eps:
+                ds.reconstructions[key] = _Reconstruction(
+                    key=key, strategy=S, x_hat=x_hat, eps=charged
+                )
+        return key, x_hat, charged
+
     def answer(
         self,
         dataset: str,
@@ -401,15 +546,22 @@ class QueryService:
         for the misses.
 
         Every query answerable from a cached reconstruction is served
-        with zero debit.  The remaining misses are stacked into a single
-        union workload and measured together through one
-        :meth:`~repro.core.hdmm.HDMM.run_batch` call under ``eps``
-        (sequential composition debits ``eps`` once for the whole miss
-        batch — jointly measured, jointly accounted).  ``eps`` must be a
-        scalar and the pass runs one trial: each miss query gets exactly
-        one answer, so there is no grid to choose from.  With no ``eps``
-        and at least one miss, raises :class:`QueryMiss` before touching
-        the budget.
+        with zero debit.  A miss batch totalling at most
+        :attr:`direct_miss_threshold` query rows whose joint support does
+        not exceed :data:`DIRECT_MISS_SUPPORT_LIMIT` cells takes the
+        cold-miss fast path (:meth:`_measure_misses_direct`): a direct
+        selection measurement on the joint query support, no strategy
+        fit, with solver-related keyword arguments not applicable (the
+        direct reconstruction is closed-form and deterministic).  Other
+        miss batches are stacked into a single union workload and
+        measured together through one
+        :meth:`~repro.core.hdmm.HDMM.run_batch` call under ``eps``.
+        Either way sequential composition debits ``eps`` once for the
+        whole miss batch — jointly measured, jointly accounted.  ``eps``
+        must be a scalar and the pass runs one trial: each miss query
+        gets exactly one answer, so there is no grid to choose from.
+        With no ``eps`` and at least one miss, raises :class:`QueryMiss`
+        before touching the budget.
         """
         if eps is not None and np.ndim(eps) != 0:
             raise ValueError(
@@ -440,6 +592,43 @@ class QueryService:
             from ..linalg import VStack
 
             blocks = [mats[i] for i in miss_idx]
+            miss_rows = sum(Q.shape[0] for Q in blocks)
+            if 0 < miss_rows <= self.direct_miss_threshold:
+                # Cold-miss fast path: measure the joint query support
+                # directly instead of fitting a strategy for a one-off.
+                # Solver-related run_kwargs (method=, exact=, ...) do not
+                # apply here — the direct reconstruction is closed-form
+                # (S⁺ = Sᵀ) and deterministic by construction, a strictly
+                # stronger contract than any solver option requests — but
+                # unknown option names must fail just like on the fitting
+                # path, not vanish because the batch happened to be small.
+                unknown = set(run_kwargs) - ANSWER_MEASURE_OPTIONS
+                if unknown:
+                    raise TypeError(
+                        f"answer() got unknown measure options {sorted(unknown)}; "
+                        f"valid options are {sorted(ANSWER_MEASURE_OPTIONS)}"
+                    )
+                direct = self._measure_misses_direct(
+                    dataset,
+                    blocks,
+                    eps,
+                    rng,
+                    stage,
+                    cache=run_kwargs.get("cache", True),
+                )
+                if direct is not None:
+                    key, x_hat, charged = direct
+                    for i in miss_idx:
+                        values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
+                        answers[i] = QueryAnswer(
+                            values=values, hit=False, key=key
+                        )
+                    return BatchResult(
+                        answers=list(answers),  # type: ignore[arg-type]
+                        charged=charged,
+                        hits=len(mats) - len(miss_idx),
+                        misses=len(miss_idx),
+                    )
             W_miss = blocks[0] if len(blocks) == 1 else VStack(blocks)
             result = self.measure(
                 dataset,

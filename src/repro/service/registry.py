@@ -14,11 +14,13 @@ Layout — one JSON manifest plus one npz per strategy::
 The npz carries the strategy's :mod:`structural config
 <repro.linalg.serialize>` (JSON string under ``__config__``, ndarrays
 split out by :func:`~repro.linalg.flatten_arrays`) *and* the factor state
-of the structured union Gram inverse
-(:func:`~repro.core.solvers.export_gram_solver_state`), so a loaded
-strategy answers its first query without re-running the per-factor
-Cholesky/eigendecomposition setup.  All payloads are float64-exact: a
-reloaded strategy is bit-identical to the fitted one.
+of the structured union Gram solver
+(:func:`~repro.core.solvers.export_gram_solver_state`) — the exact
+two-term inverse for one- and two-block unions, or the dominant-pair
+preconditioner for L ≥ 3 unions — so a loaded strategy answers its first
+query without re-running the per-factor Cholesky/eigendecomposition
+setup.  All payloads are float64-exact: a reloaded strategy is
+bit-identical to the fitted one.
 
 Keys are :func:`~repro.service.fingerprint.workload_fingerprint` values,
 so any process that can *construct* the workload can find its strategy —
@@ -204,7 +206,10 @@ class StrategyRegistry:
                 "sensitivity": float(strategy.sensitivity()),
                 "loss": None if loss is None else float(loss),
                 "template": template or "",
-                "solver_state": bool(solver and "factors" in solver),
+                "solver_state": bool(
+                    solver
+                    and ("factors" in solver or "precond_factors" in solver)
+                ),
                 "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
                 "metadata": metadata or {},
             }

@@ -33,8 +33,10 @@ from repro.optimize import (
     opt_union,
 )
 from repro.optimize.parallel import (
+    PROCESS_SIZE_THRESHOLD,
     best_index,
     reduce_best,
+    resolve_executor,
     resolve_workers,
     run_tasks,
     spawn_generators,
@@ -103,6 +105,43 @@ class TestEngine:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
             run_tasks(lambda x: x, [1, 2], workers=2, executor="gpu")
+        with pytest.raises(ValueError):
+            resolve_executor("gpu")
+
+
+class TestAutoExecutor:
+    """Satellite: executor="auto" picks processes only for large domains
+    on multi-core hosts (the 1-CPU CI always records thread numbers)."""
+
+    def test_explicit_choices_pass_through(self):
+        assert resolve_executor("thread", size_hint=10**9) == "thread"
+        assert resolve_executor("process", size_hint=1) == "process"
+
+    def test_auto_defaults_to_threads(self):
+        assert resolve_executor("auto") == "thread"
+        assert resolve_executor("auto", size_hint=128) == "thread"
+
+    def test_auto_large_domain_multicore(self, monkeypatch):
+        import repro.optimize.parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 8)
+        assert resolve_executor("auto", size_hint=PROCESS_SIZE_THRESHOLD) == "process"
+        assert (
+            resolve_executor("auto", size_hint=PROCESS_SIZE_THRESHOLD - 1)
+            == "thread"
+        )
+
+    def test_auto_single_cpu_stays_threads(self, monkeypatch):
+        import repro.optimize.parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 1)
+        assert resolve_executor("auto", size_hint=PROCESS_SIZE_THRESHOLD) == "thread"
+
+    def test_run_tasks_accepts_size_hint(self):
+        out = run_tasks(
+            lambda v: v * 2, [1, 2, 3], workers=2, size_hint=PROCESS_SIZE_THRESHOLD
+        )
+        assert out == [2, 4, 6]
 
 
 class TestSameSeedDeterminism:

@@ -161,6 +161,53 @@ class TestRegistry:
         k2 = reg.put(union_workload, fitted_union.strategy, template="opt_kron")
         assert k1 != k2 and len(reg) == 2
 
+    def test_multiblock_precond_roundtrip_without_refactorization(
+        self, tmp_path
+    ):
+        """Acceptance: a warm registry load of an L ≥ 3 union strategy
+        restores the dominant-pair preconditioner state — the loaded
+        strategy serves without ever re-running the factorization."""
+        import repro.core.solvers as solvers
+        from repro.core import least_squares
+        from repro.core.solvers import union_gram_preconditioner
+        from repro.optimize import PIdentity
+
+        r = np.random.default_rng(3)
+        blocks = [
+            Weighted(
+                Kronecker(
+                    [PIdentity(r.random((2, 5))), PIdentity(r.random((2, 4)))]
+                ),
+                0.25,
+            )
+            for _ in range(4)
+        ]
+        A = VStack(blocks)
+        W = workload.range_total_union(5, 4)
+        reg = StrategyRegistry(tmp_path / "reg")
+        key = reg.put(W, A)
+        assert reg.entry(key)["solver_state"]
+
+        rec = reg.load(key)
+        state = rec.strategy.cache_get("union_gram_precond_state")
+        assert state is not None and len(state["blocks"]) == 2
+
+        # The dominant-pair factorization must never run again: the
+        # restored factors are used as-is.
+        original = solvers._two_term_factorization
+        solvers._two_term_factorization = lambda *a, **k: (_ for _ in ()).throw(
+            AssertionError("dominant-pair factorization re-ran on warm load")
+        )
+        try:
+            M = union_gram_preconditioner(rec.strategy)
+            assert M is not None
+            y = np.random.default_rng(0).standard_normal(rec.strategy.shape[0])
+            x = least_squares(rec.strategy, y)
+        finally:
+            solvers._two_term_factorization = original
+        ref = np.linalg.pinv(A.dense()) @ y
+        assert np.allclose(x, ref, atol=1e-8)
+
     def test_cache_disabled_put_does_not_poison_loaded_strategy(
         self, tmp_path, union_workload
     ):
@@ -473,6 +520,171 @@ class TestQueryService:
         assert not served.from_registry
         # Memoized in-process: the second prepare is a hit.
         assert svc.measure("d", W, eps=1.0, rng=0).from_registry
+
+
+class TestColdMissFastPath:
+    """Satellite: small ad-hoc miss batches skip the fitting template and
+    measure a sensitivity-1 selection on the query support directly."""
+
+    def _service(self, tmp_path, **kwargs):
+        acct = PrivacyAccountant()
+        svc = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=acct,
+            restarts=1,
+            rng=0,
+            **kwargs,
+        )
+        return svc, acct
+
+    def test_small_miss_batch_never_fits(self, tmp_path, monkeypatch):
+        svc, acct = self._service(tmp_path)
+        x = np.random.default_rng(1).poisson(40, 16).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        monkeypatch.setattr(
+            HDMM,
+            "fit",
+            lambda *a, **k: pytest.fail("cold-miss fast path ran a fit"),
+        )
+        q1 = np.zeros(16)
+        q1[:4] = 1.0
+        q2 = np.zeros(16)
+        q2[2:8] = 2.0
+        batch = svc.answer("d", [q1, q2], eps=0.5, rng=3)
+        assert batch.misses == 2 and batch.hits == 0
+        assert batch.charged == pytest.approx(0.5)
+        assert acct.spent("d") == pytest.approx(0.5)
+        assert all(a.key.startswith("direct:") for a in batch.answers)
+        assert len(svc.registry) == 0  # one-offs never pollute the registry
+
+    def test_direct_answers_are_accurate_at_high_eps(self, tmp_path):
+        svc, _ = self._service(tmp_path)
+        x = np.arange(12, dtype=float)
+        svc.add_dataset("d", x, epsilon_cap=1e7)
+        q = np.zeros(12)
+        q[3:7] = 1.0
+        batch = svc.answer("d", [q], eps=1e6, rng=0)
+        assert batch.answers[0].values == pytest.approx([q @ x], abs=1e-2)
+
+    def test_direct_measurement_is_cached_for_free_hits(self, tmp_path):
+        svc, acct = self._service(tmp_path)
+        x = np.random.default_rng(2).poisson(25, 10).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        q = np.zeros(10)
+        q[::2] = 1.0
+        first = svc.answer("d", [q], eps=1.0, rng=4)
+        assert first.misses == 1
+        spent = acct.spent("d")
+        # Identical support → the cached direct reconstruction serves it.
+        again = svc.answer("d", [q], eps=1.0, rng=5)
+        assert again.hits == 1 and again.charged == 0.0
+        assert acct.spent("d") == spent
+        assert np.array_equal(
+            again.answers[0].values, first.answers[0].values
+        )
+
+    def test_zero_query_served_free(self, tmp_path):
+        svc, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=1.0)
+        batch = svc.answer("d", [np.zeros(8)], eps=0.5, rng=0)
+        assert batch.charged == 0.0
+        assert batch.answers[0].values == pytest.approx([0.0])
+        assert acct.spent("d") == 0.0
+        # The empty reconstruction is cached: identical traffic now hits
+        # (and the answer key from the first batch names a real entry).
+        assert batch.answers[0].key in svc.reconstructions("d")
+        again = svc.answer("d", [np.zeros(8)])
+        assert again.hits == 1 and again.charged == 0.0
+
+    def test_threshold_zero_disables_fast_path(self, tmp_path, monkeypatch):
+        svc, _ = self._service(tmp_path, direct_miss_threshold=0)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=5.0)
+        fits = []
+        original = HDMM.fit
+        monkeypatch.setattr(
+            HDMM,
+            "fit",
+            lambda self, W, **kw: fits.append(1) or original(self, W, **kw),
+        )
+        q = np.zeros(8)
+        q[0] = 1.0
+        batch = svc.answer("d", [q], eps=0.5, rng=1)
+        assert batch.misses == 1
+        assert fits  # the full fitting template ran
+
+    def test_wide_support_misses_use_full_path(self, tmp_path, monkeypatch):
+        """A few rows can still touch the whole domain (e.g. a total
+        query); beyond DIRECT_MISS_SUPPORT_LIMIT cells the direct path
+        would cost domain-sized dense algebra and answer poorly — such
+        misses must run the fitting template instead."""
+        from repro.service import engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "DIRECT_MISS_SUPPORT_LIMIT", 4)
+        svc, acct = self._service(tmp_path)
+        x = np.random.default_rng(0).poisson(30, 8).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        batch = svc.answer("d", [np.ones(8)], eps=0.5, rng=1)  # support 8 > 4
+        assert batch.misses == 1
+        assert len(svc.registry) == 1  # the fitting template ran + persisted
+        assert not batch.answers[0].key.startswith("direct:")
+
+    def test_zero_query_invalid_eps_still_rejected(self, tmp_path):
+        """The empty-support early exit must not bypass ε validation."""
+        svc, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=1.0)
+        for bad in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                svc.answer("d", [np.zeros(8)], eps=bad)
+        assert acct.spent("d") == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="direct_miss_threshold"):
+            QueryService(direct_miss_threshold=-1)
+        with pytest.raises(ValueError, match="direct_miss_threshold"):
+            QueryService(direct_miss_threshold=2.5)
+
+    def test_direct_path_honors_cache_false(self, tmp_path):
+        svc, _ = self._service(tmp_path)
+        x = np.random.default_rng(3).poisson(25, 10).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        q = np.zeros(10)
+        q[2] = 1.0
+        batch = svc.answer("d", [q], eps=1.0, rng=4, cache=False)
+        assert batch.misses == 1
+        assert svc.reconstructions("d") == []  # nothing retained
+        # The same query misses again (and pays again) — as it would on
+        # the fitting path with cache=False.
+        again = svc.answer("d", [q], eps=1.0, rng=5, cache=False)
+        assert again.misses == 1
+
+    def test_direct_path_rejects_unknown_options(self, tmp_path):
+        """A misspelled measure option must fail on the direct path just
+        like it would on the fitting path — not vanish because the miss
+        batch happened to be small."""
+        svc, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8), epsilon_cap=5.0)
+        q = np.zeros(8)
+        q[0] = 1.0
+        with pytest.raises(TypeError, match="mehtod"):
+            svc.answer("d", [q], eps=0.5, rng=1, mehtod="cg")
+        assert acct.spent("d") == 0.0
+        # Known solver options pass through (and are no-ops here).
+        batch = svc.answer("d", [q], eps=0.5, rng=1, exact=True)
+        assert batch.misses == 1
+
+    def test_oversized_miss_batch_uses_full_path(self, tmp_path):
+        """Miss batches above the threshold still go through the fitted
+        union-measurement path (and the registry)."""
+        svc, acct = self._service(tmp_path, direct_miss_threshold=1)
+        x = np.random.default_rng(0).poisson(30, 8).astype(float)
+        svc.add_dataset("d", x, epsilon_cap=5.0)
+        q1 = np.zeros(8)
+        q1[:2] = 1.0
+        q2 = np.ones(8)
+        batch = svc.answer("d", [q1, q2], eps=0.5, rng=2)
+        assert batch.misses == 2
+        assert batch.charged == pytest.approx(0.5)
+        assert len(svc.registry) == 1  # fitted strategy was persisted
 
 
 class TestValidateEpsilonCentralized:

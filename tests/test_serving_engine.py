@@ -16,8 +16,13 @@ from repro.core.reconstruct import (
     resolves_to_pinv,
 )
 from repro.core.solvers import (
+    GramRecycleState,
     cg_gram_solve,
+    export_gram_solver_state,
+    gram_recycle_state,
+    restore_gram_solver_state,
     union_gram_inverse,
+    union_gram_preconditioner,
     validate_maxiter,
     validate_tolerance,
 )
@@ -46,6 +51,21 @@ def _union_strategy(rng):
             Weighted(
                 Kronecker([Identity(6), PIdentity(rng.random((2, 5)))]), 0.5
             ),
+        ]
+    )
+
+
+def _multiblock_strategy(rng, L, d1=6, d2=5):
+    """An L-block union of Kronecker products (opt_union(groups=L) shape)."""
+    return VStack(
+        [
+            Weighted(
+                Kronecker(
+                    [PIdentity(rng.random((2, d1))), PIdentity(rng.random((2, d2)))]
+                ),
+                1.0 / L,
+            )
+            for _ in range(L)
         ]
     )
 
@@ -214,6 +234,160 @@ class TestUnionGramInverse:
     def test_cached_on_instance(self, rng):
         A = _union_strategy(rng)
         assert union_gram_inverse(A) is union_gram_inverse(A)
+
+
+class TestMultiblockGramSolver:
+    """Tentpole: preconditioned block-CG + subspace recycling for L ≥ 3."""
+
+    @pytest.mark.parametrize("L", [3, 4, 5])
+    def test_union_solve_matches_dense_pinv(self, rng, L):
+        A = _multiblock_strategy(rng, L)
+        Y = rng.standard_normal((A.shape[0], 4))
+        X = least_squares(A, Y)  # auto → preconditioned CG
+        X_ref = np.linalg.pinv(A.dense()) @ Y
+        scale = max(1.0, np.abs(X_ref).max())
+        assert np.max(np.abs(X - X_ref)) / scale <= 1e-8
+
+    @pytest.mark.parametrize("L", [3, 4, 5])
+    def test_preconditioner_inverts_dominant_pair(self, rng, L):
+        A = _multiblock_strategy(rng, L)
+        M = union_gram_preconditioner(A)
+        assert M is not None
+        state = A.cache_get("union_gram_precond_state")
+        i, j = state["blocks"]
+        pair = VStack([A.blocks[i], A.blocks[j]])
+        G_pair = pair.gram().dense()
+        n = A.shape[1]
+        assert np.allclose(M.dense() @ G_pair, np.eye(n), atol=1e-8)
+
+    def test_preconditioner_unavailable_below_three_blocks(self, rng):
+        assert union_gram_preconditioner(_union_strategy(rng)) is None
+        assert union_gram_preconditioner(PIdentity(rng.random((2, 5)))) is None
+
+    def test_preconditioner_cached_on_instance(self, rng):
+        A = _multiblock_strategy(rng, 3)
+        assert union_gram_preconditioner(A) is union_gram_preconditioner(A)
+
+    def test_incompatible_top_trace_block_does_not_starve_pairs(self, rng):
+        """A dominant block whose factor shapes match nothing else must
+        not consume the pair budget: the compatible lower-trace pair
+        still yields a preconditioner."""
+        odd = Weighted(Kronecker([PIdentity(rng.random((2, 30)))]), 5.0)
+        compatible = [
+            Weighted(
+                Kronecker(
+                    [PIdentity(rng.random((2, 6))), PIdentity(rng.random((2, 5)))]
+                ),
+                0.5,
+            )
+            for _ in range(3)
+        ]
+        A = VStack([odd] + compatible)
+        M = union_gram_preconditioner(A)
+        assert M is not None
+        state = A.cache_get("union_gram_precond_state")
+        assert 0 not in state["blocks"]  # the odd block cannot pair
+
+    def test_preconditioned_vs_plain_cg_answers_agree(self, rng):
+        A = _multiblock_strategy(rng, 4)
+        Y = rng.standard_normal((A.shape[0], 3))
+        X_auto = least_squares(A, Y)  # preconditioned + recycled
+        X_cg = least_squares(A, Y, method="cg")  # plain CG
+        X_lsmr = least_squares(A, Y, method="lsmr")
+        assert np.allclose(X_auto, X_cg, atol=1e-7)
+        assert np.allclose(X_auto, X_lsmr, atol=1e-7)
+
+    def test_preconditioning_reduces_iterations(self, rng):
+        A = _multiblock_strategy(rng, 4)
+        G = A.gram()
+        B = A.rmatmat(rng.standard_normal((A.shape[0], 8)))
+        plain = cg_gram_solve(G, B)
+        pre = cg_gram_solve(G, B, preconditioner=union_gram_preconditioner(A))
+        assert plain.converged.all() and pre.converged.all()
+        assert pre.iterations.sum() < plain.iterations.sum()
+
+    def test_recycling_reduces_iterations_across_solves(self, rng):
+        A = _multiblock_strategy(rng, 4)
+        G = A.gram()
+        M = union_gram_preconditioner(A)
+        B1 = A.rmatmat(rng.standard_normal((A.shape[0], 6)))
+        B2 = A.rmatmat(rng.standard_normal((A.shape[0], 6)))
+        state = GramRecycleState()
+        cg_gram_solve(G, B1, preconditioner=M, recycle=state)
+        assert state.size > 0
+        cold = cg_gram_solve(G, B2, preconditioner=M)
+        warm = cg_gram_solve(G, B2, preconditioner=M, recycle=state)
+        assert warm.converged.all()
+        assert warm.iterations.sum() < cold.iterations.sum()
+        # Deflation must not cost accuracy.
+        ref = np.linalg.solve(G.dense(), B2)
+        assert np.allclose(warm.x, ref, atol=1e-8)
+
+    def test_recycle_state_cached_on_strategy(self, rng):
+        A = _multiblock_strategy(rng, 3)
+        assert gram_recycle_state(A) is gram_recycle_state(A)
+        Y = rng.standard_normal((A.shape[0], 2))
+        least_squares(A, Y)  # auto path populates the cached state
+        assert gram_recycle_state(A).size > 0
+
+    def test_recycling_determinism_exact_sweep(self, rng):
+        """ISSUE contract: same seeds ⇒ bit-identical answers with
+        exact=True, including the recycled L ≥ 3 path — two identical
+        fresh runs (fresh strategy instances, fresh recycle bases) must
+        agree to the last bit."""
+        W = workload.range_total_union(6)
+        eps = np.array([0.5, 1.0, 2.0])
+        x = np.arange(36, dtype=float)
+
+        def fresh_run():
+            r = np.random.default_rng(7)
+            A = _multiblock_strategy(r, 4, d1=6, d2=6)
+            mech = HDMM(restarts=1, rng=0)
+            mech.workload, mech.strategy = W, A
+            return mech.run_batch(x, eps, trials=2, rng=13, exact=True)
+
+        assert np.array_equal(fresh_run(), fresh_run())
+
+    def test_export_restore_precond_state(self, rng):
+        A = _multiblock_strategy(rng, 4)
+        state = export_gram_solver_state(A)
+        assert "precond_factors" in state and "precond_blocks" in state
+        fresh = np.random.default_rng(12345)
+        A2 = _multiblock_strategy(fresh, 4)  # same arrays, fresh caches
+        restore_gram_solver_state(A2, state)
+        M2 = A2.cache_get("union_gram_precond")
+        assert M2 is not None and not isinstance(M2, str)
+        M1 = union_gram_preconditioner(A)
+        assert np.allclose(M1.dense(), M2.dense())
+
+    def test_legacy_unavailable_state_does_not_disable_precond(self, rng):
+        """Registry entries persisted before the preconditioner existed
+        carry a bare {'unavailable': True}; restoring one onto an L ≥ 3
+        strategy must leave the dominant-pair probe free to run."""
+        A = _multiblock_strategy(rng, 3)
+        restore_gram_solver_state(A, {"unavailable": True})  # legacy form
+        assert A.cache_get("union_gram_inverse") == "unavailable"
+        assert union_gram_preconditioner(A) is not None
+
+    def test_failed_precond_probe_roundtrips_as_unavailable(self, rng):
+        """A probe that genuinely ran and failed is persisted so the
+        reloaded strategy skips re-probing."""
+        A = VStack(
+            [Weighted(Kronecker([PIdentity(rng.random((1, 2000)))]), 1.0)]
+            * 3
+        )  # factor too large for KRON_FACTOR_LIMIT — probe must fail
+        state = export_gram_solver_state(A)
+        assert state == {"unavailable": True, "precond_probed": True}
+        A2 = VStack(A.blocks)
+        restore_gram_solver_state(A2, state)
+        assert A2.cache_get("union_gram_precond") == "unavailable"
+
+    def test_cg_preconditioner_shape_validated(self, rng):
+        A = _union_strategy(rng)
+        G = A.gram()
+        B = A.rmatmat(rng.standard_normal((A.shape[0], 2)))
+        with pytest.raises(ValueError, match="preconditioner"):
+            cg_gram_solve(G, B, preconditioner=Identity(G.shape[0] + 1))
 
 
 class TestValidationSatellites:
