@@ -396,6 +396,86 @@ def bench_serving_multiblock(
     }
 
 
+def _api_expressions(n_exprs: int):
+    """A deterministic mixed batch of declarative expressions (with
+    natural duplicates, as ad-hoc client traffic has): marginals over
+    attribute pairs, CDF/range queries, filtered counts, and weighted
+    unions, cycled up to ``n_exprs``."""
+    import itertools
+
+    from repro.api import A, marginal, prefix, ranges, total, union
+
+    attrs = ["age", "income", "race", "sex"]
+    patterns = []
+    for a, b in itertools.combinations(attrs, 2):
+        patterns.append(marginal(a, b))
+    patterns += [prefix("age"), prefix("income"), ranges("race"), total()]
+    for lo in range(6):
+        patterns.append(A("age").between(lo, lo + 8) & A("sex").eq("F"))
+        patterns.append(A("income").between(lo, lo + 1) & A("race").eq(lo % 4))
+    patterns.append(union(marginal("age"), total(), weights=[1.0, 0.25]))
+    patterns.append(0.5 * marginal("sex", "race"))
+    return [patterns[i % len(patterns)] for i in range(n_exprs)]
+
+
+def bench_api_planner(n_exprs: int = 512, restarts: int = 2) -> dict:
+    """Declarative layer: compile+plan latency for a mixed expression
+    batch, dedup factor, and the free-hit ratio once the one accounted
+    measurement has warmed the reconstruction cache."""
+    from repro.api import Schema, Session
+    from repro.service import PrivacyAccountant
+
+    schema = Schema.from_spec(
+        {"age": 16, "income": 8, "race": 4, "sex": ["M", "F"]}
+    )
+    sess = Session(
+        accountant=PrivacyAccountant(default_cap=100.0),
+        restarts=restarts,
+        rng=0,
+    )
+    x = np.random.default_rng(5).poisson(30, schema.domain.size()).astype(float)
+    ds = sess.dataset("traffic", schema=schema, data=x, epsilon_cap=50.0)
+    exprs = _api_expressions(n_exprs)
+
+    with Timer() as t_compile:
+        batch = ds.compile_many(exprs)
+    with Timer() as t_plan:
+        plan_cold = ds.plan(exprs, eps=1.0)
+    spent0 = sess.service.accountant.spent("traffic")
+    with Timer() as t_warmup:
+        ds.ask_many(exprs, eps=1.0, rng=7)
+    actual_debit = sess.service.accountant.spent("traffic") - spent0
+
+    # After warmup the whole batch must route through the cache for free.
+    with Timer() as t_plan_warm:
+        plan_warm = ds.plan(exprs, eps=1.0)
+    spent1 = sess.service.accountant.spent("traffic")
+    with Timer() as t_serve_warm:
+        ds.ask_many(exprs, eps=1.0, rng=8)
+    free_spent = sess.service.accountant.spent("traffic") - spent1
+
+    return {
+        "schema": repr(schema),
+        "domain": schema.domain.size(),
+        "n_expressions": n_exprs,
+        "n_distinct": len(batch.queries),
+        "dedup_factor": round(n_exprs / len(batch.queries), 2),
+        "compile_seconds": round(t_compile.elapsed, 4),
+        "compile_ms_per_expr": round(t_compile.elapsed / n_exprs * 1e3, 4),
+        "plan_cold_seconds": round(t_plan.elapsed, 4),
+        "plan_warm_seconds": round(t_plan_warm.elapsed, 4),
+        "warmup_measure_seconds": round(t_warmup.elapsed, 4),
+        "serve_warm_seconds": round(t_serve_warm.elapsed, 4),
+        "plan_eps_estimate": plan_cold.total_epsilon,
+        "actual_debit": actual_debit,
+        "plan_matches_debit": bool(
+            abs(plan_cold.total_epsilon - actual_debit) < 1e-12
+        ),
+        "free_hit_ratio_after_warmup": plan_warm.free_fraction,
+        "free_spend_after_warmup": free_spent,
+    }
+
+
 def bench_service(n: int = 64, restarts: int = 5, query_reps: int = 50) -> dict:
     """Registry cold-fit vs warm-load, and free-query-hit latency."""
     import shutil
@@ -472,6 +552,9 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
             n=8 if quick else 16,
             trials=5 if quick else 20,
             n_eps=3 if quick else 5),
+        "api_planner": bench_api_planner(
+            n_exprs=96 if quick else 512,
+            restarts=1 if quick else 2),
     }
     return results
 
@@ -563,6 +646,20 @@ def main() -> None:
             f"{mb['iterations']['preconditioned']} iters",
         ],
     ]
+    ap = results["api_planner"]
+    rows += [
+        [
+            f"api compile+plan ({ap['n_expressions']} exprs)",
+            f"{(ap['compile_seconds'] + ap['plan_cold_seconds']) * 1e3:.1f}ms",
+            f"{ap['dedup_factor']:.1f}x dedup "
+            f"({ap['n_distinct']} distinct)",
+        ],
+        [
+            "api warm serve (all cached)",
+            f"{ap['serve_warm_seconds'] * 1e3:.1f}ms",
+            f"free-hit ratio {ap['free_hit_ratio_after_warmup']:.2f}",
+        ],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -581,6 +678,10 @@ def main() -> None:
         "multiblock exact=True same-seed answers bit-identical: "
         f"{mb['answers_bit_identical']} "
         f"(max rel dev vs LSMR {mb['max_rel_dev_vs_lsmr']:.2e})"
+    )
+    print(
+        f"api planner ε estimate matches accountant debit: "
+        f"{ap['plan_matches_debit']}"
     )
     regression = check_serving_regression(results, args.json)
     if regression:
@@ -642,6 +743,26 @@ def test_bench_serving_multiblock_smoke():
     assert rec["speedup_vs_cold_cg"] >= 3.0
     assert rec["max_rel_dev_vs_lsmr"] <= 1e-8
     assert rec["answers_bit_identical"]
+
+
+def test_bench_api_planner_smoke():
+    """Quick api_planner case: the declarative-layer contracts must hold
+    — dedup collapses the repeated traffic, the Plan's ε estimate equals
+    the accountant's actual debit, and after the one warmup measurement
+    the whole batch is served from cache at zero budget."""
+    ap = bench_api_planner(n_exprs=96, restarts=1)
+    assert ap["n_distinct"] < ap["n_expressions"]
+    assert ap["plan_matches_debit"]
+    assert ap["free_hit_ratio_after_warmup"] == 1.0
+    assert ap["free_spend_after_warmup"] == 0.0
+    # The committed trajectory must already carry an api_planner record
+    # so this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    rec = recorded["api_planner"]
+    assert rec["n_expressions"] >= 512
+    assert rec["plan_matches_debit"]
+    assert rec["free_hit_ratio_after_warmup"] == 1.0
 
 
 def test_bench_serving_smoke():

@@ -1,4 +1,5 @@
-"""Service walkthrough: fit once, restart, serve from cache for free.
+"""Service walkthrough: declare queries over a schema, let the planner
+route them — with the matrix-level physical API shown underneath.
 
 HDMM's two economic facts (paper Section 3.6):
 
@@ -8,17 +9,22 @@ HDMM's two economic facts (paper Section 3.6):
   measurement is **post-processing** — answering more queries from an
   existing reconstruction costs zero additional budget.
 
-This demo walks the serving layer built on those facts:
+The declarative layer (`repro.api`) puts those facts behind a planner:
 
-1. a "first process" fits a strategy for the range-total union workload
-   and persists it in a :class:`~repro.service.StrategyRegistry`;
-2. a "restarted process" (fresh ``QueryService`` over the same
-   directory) loads it serve-ready — no re-optimization, no
-   re-factorization — and runs one accounted measurement sweep;
-3. ad-hoc linear queries inside the measured span are then answered from
-   the cached reconstruction with **zero** accountant debit, and a
-   request that would blow the dataset's ε cap is refused before any
+1. a `Session` registers data + schema once; clients then *say what they
+   want* over named attributes — `A("x").between(...)`,
+   `marginal("x", "y")`, `total()` — never which row of which Kronecker
+   product;
+2. `ds.plan(exprs, eps)` shows the routing table (cache / warm / direct /
+   cold) and the exact ε debit **before** any budget is spent;
+3. `ds.ask_many` compiles, dedups, and serves: repeated expressions cost
+   one answer and one debit, and everything inside a measured span is
+   free;
+4. a request that would blow the dataset's ε cap is refused before any
    noise is drawn.
+
+`matrix_level_demo` keeps the physical `QueryService` flow (hand-built
+implicit matrices) — the layer the planner compiles down to.
 
 Run:  python examples/service_demo.py
 """
@@ -29,6 +35,7 @@ import time
 import numpy as np
 
 from repro import workload
+from repro.api import A, Schema, Session, marginal, total
 from repro.service import (
     BudgetExceededError,
     PrivacyAccountant,
@@ -36,22 +43,79 @@ from repro.service import (
     StrategyRegistry,
 )
 
-DOMAIN_1D = 32  # per-axis size of the 2-D range-total union workload
+GRID = 32  # per-axis size of the 2-D taxi-style grid
 EPS_CAP = 5.0
 
 
-def main() -> None:
-    # Fresh directory per run so the cold-vs-warm comparison is honest; a
-    # real deployment points every process at one shared location.
-    registry_dir = tempfile.mkdtemp(prefix="repro-service-demo-")
-    W = workload.range_total_union(DOMAIN_1D)
-    n = W.shape[1]
+def declarative_demo(registry_dir: str) -> None:
+    print("=" * 64)
+    print("Declarative API: Session + expressions + lazy plans")
+    print("=" * 64)
+    schema = Schema.from_spec({"x": GRID, "y": GRID})
     rng = np.random.default_rng(0)
-    x = rng.poisson(40, n).astype(float)
+    data = rng.poisson(40, schema.domain.size()).astype(float)
 
-    # ------------------------------------------------------------------
+    sess = Session(
+        registry=StrategyRegistry(registry_dir),
+        accountant=PrivacyAccountant(),
+        restarts=5,
+        rng=0,
+    )
+    ds = sess.dataset("taxi", schema=schema, data=data, epsilon_cap=EPS_CAP)
+
+    # A mixed batch — two duplicates on purpose: the planner dedups them.
+    exprs = [
+        A("x").between(0, GRID // 4 - 1),          # "first quarter of x"
+        marginal("x"),                              # the x histogram
+        A("x").between(0, GRID // 4 - 1),          # duplicate of query 1
+        total(),
+        A("x").between(8, 15) & A("y").between(8, 15),  # a 2-D block
+    ]
+
+    # The plan is inspectable *before* any budget is spent.
+    plan = ds.plan(exprs, eps=1.0)
+    print(plan.explain())
+    print()
+
+    spent_before = ds.spent
+    answers = ds.ask_many(exprs, eps=1.0, rng=7)
+    print(f"served {len(answers)} expressions; "
+          f"ε spent {ds.spent - spent_before:g} "
+          f"(plan estimated {plan.total_epsilon:g})")
+    for a in answers[:2] + answers[3:]:
+        print(f"  {a}")
+    print()
+
+    # Everything in the measured span is now free post-processing.
+    plan2 = ds.plan(exprs + [A("y").between(0, 7)], eps=1.0)
+    print("replay + one new query inside the span:")
+    print(plan2.explain())
+    again = ds.ask(A("y").between(0, 7))
+    print(f"  new ad-hoc query served {again.route} "
+          f"(ε charged {again.epsilon:g})")
+    # Note the plan's RMSE column: the y-range lies in the measured span
+    # (so it is *free*), but the strategy was optimized for x-heavy
+    # traffic — the estimate warns that this free answer is inaccurate,
+    # and that re-measuring under its own budget would be wiser.
+    print()
+
+    # The cap is a hard gate: refused before any noise is drawn.
+    try:
+        ds.ask(marginal("x", "y"), eps=100.0)
+    except BudgetExceededError as e:
+        print(f"over-cap request refused: {e}")
+    print(f"ledger: spent {ds.spent:g} / cap {EPS_CAP:g}\n")
+
+
+def matrix_level_demo(registry_dir: str) -> None:
+    print("=" * 64)
+    print("Physical API: QueryService over hand-built implicit matrices")
+    print("=" * 64)
+    W = workload.range_total_union(GRID)
+    n = W.shape[1]
+    x = np.random.default_rng(0).poisson(40, n).astype(float)
+
     # Process 1: fit once, persist.
-    # ------------------------------------------------------------------
     registry = StrategyRegistry(registry_dir)
     svc1 = QueryService(registry=registry, restarts=5, rng=0)
     t0 = time.perf_counter()
@@ -59,11 +123,8 @@ def main() -> None:
     t_first = time.perf_counter() - t0
     print(f"process 1: prepared {key[:12]}… in {t_first:.2f}s "
           f"(from_registry={from_registry})")
-    print(f"  strategy: {strategy}")
 
-    # ------------------------------------------------------------------
     # Process 2 (simulated restart): same directory, fresh everything.
-    # ------------------------------------------------------------------
     accountant = PrivacyAccountant()
     svc2 = QueryService(
         registry=StrategyRegistry(registry_dir),
@@ -86,34 +147,27 @@ def main() -> None:
           f"{served.charged:.2f}, spent {accountant.spent('taxi'):.2f}"
           f"/{EPS_CAP:.2f}")
 
-    # ------------------------------------------------------------------
-    # Ad-hoc queries: free post-processing from the cached x̂.
-    # ------------------------------------------------------------------
-    # "How many records in the first quarter of axis 0?" — a range never
-    # asked verbatim by the workload, but inside the measured span.
+    # Ad-hoc queries: free from the cached x̂ when inside the span, and a
+    # cold *single* query reaches the direct fast path via query(eps=...).
     q_corner = np.kron(
-        (np.arange(DOMAIN_1D) < DOMAIN_1D // 4).astype(float),
-        np.ones(DOMAIN_1D),
+        (np.arange(GRID) < GRID // 4).astype(float), np.ones(GRID)
     )
-    spent_before = accountant.spent("taxi")
     answer = svc2.query("taxi", q_corner)
-    assert accountant.spent("taxi") == spent_before, "span queries are free"
+    assert answer.hit
     print(f"ad-hoc range query: answer {answer.values[0]:.0f} "
           f"(truth {q_corner @ x:.0f}) — zero budget spent")
-
     batch = svc2.answer("taxi", [q_corner, np.ones(n)])
     print(f"batch of {len(batch.answers)} ad-hoc queries: "
           f"{batch.hits} free hits, {batch.misses} misses, "
           f"charged {batch.charged:.2f}")
-
-    # ------------------------------------------------------------------
-    # The cap is a hard gate: refused before any noise is drawn.
-    # ------------------------------------------------------------------
-    try:
-        svc2.measure("taxi", W, eps=100.0, rng=8)
-    except BudgetExceededError as e:
-        print(f"over-cap request refused: {e}")
     print(f"final ledger: {accountant}")
+
+
+def main() -> None:
+    # Fresh directories per run so the cold-vs-warm comparisons are
+    # honest; a real deployment points every process at one location.
+    declarative_demo(tempfile.mkdtemp(prefix="repro-api-demo-"))
+    matrix_level_demo(tempfile.mkdtemp(prefix="repro-service-demo-"))
 
 
 if __name__ == "__main__":

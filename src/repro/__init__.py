@@ -24,13 +24,17 @@ Package layout:
 * :mod:`repro.core`      — error metrics, measure, reconstruct, HDMM;
 * :mod:`repro.service`   — strategy registry, privacy accountant, and the
   :class:`~repro.service.QueryService` serving layer;
+* :mod:`repro.api`       — the declarative layer: schema-aware predicate
+  expressions, the lazy query planner, and the :class:`~repro.api.Session`
+  facade over the serving stack;
 * :mod:`repro.baselines` — the eleven comparison mechanisms of Section 8;
 * :mod:`repro.data`      — dataset schemas and synthetic data generators.
 """
 
-from . import core, linalg, optimize, service, workload
+from . import api, core, linalg, optimize, service, workload
+from .api import Schema, Session
 from .core import HDMM, error_ratio, expected_error, rootmse, squared_error
-from .domain import Domain
+from .domain import Domain, SchemaMismatchError
 from .service import PrivacyAccountant, QueryService, StrategyRegistry
 
 __version__ = "1.0.0"
@@ -40,7 +44,11 @@ __all__ = [
     "HDMM",
     "PrivacyAccountant",
     "QueryService",
+    "Schema",
+    "SchemaMismatchError",
+    "Session",
     "StrategyRegistry",
+    "api",
     "core",
     "error_ratio",
     "expected_error",

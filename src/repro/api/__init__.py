@@ -1,0 +1,77 @@
+"""Declarative query API: say *what* you want over named attributes.
+
+The paper's logical-workload abstraction (Sections 3.2–3.3) hides the
+flattened-domain vectorization behind predicate sets; this package
+extends that split all the way to the serving stack, in the spirit of
+declarative-over-physical database design: clients state intent, a
+planner owns vectorization, dedup, and routing.
+
+Three pieces:
+
+* **expressions** (:mod:`~repro.api.expr`) — a composable algebra over
+  named schema attributes: ``A("age").between(30, 40) & A("sex").eq("F")``,
+  ``marginal("age", "income")``, ``prefix("income")``, ``total()``,
+  weighted unions, negation;
+* **the planner** (:mod:`~repro.api.planner`) — compiles expressions to
+  canonical implicit matrices, dedups identical queries by fingerprint,
+  and emits an inspectable :class:`Plan` (route, estimated ε debit,
+  expected RMSE) before any budget is spent;
+* **the Session facade** (:mod:`~repro.api.session`) — registers data +
+  schema once; ``ds.ask(expr)`` / ``ds.ask_many(exprs)`` serve answers
+  with per-query provenance through the matrix-level
+  :class:`~repro.service.QueryService`, which remains the physical layer
+  underneath.
+"""
+
+from ..domain import SchemaMismatchError
+from .expr import (
+    A,
+    AttributeRef,
+    Condition,
+    Conjunction,
+    QueryExpr,
+    count,
+    marginal,
+    prefix,
+    ranges,
+    total,
+    union,
+)
+from .planner import (
+    CompiledBatch,
+    CompiledQuery,
+    Plan,
+    PlanEntry,
+    compile_batch,
+    compile_expr,
+    plan_queries,
+)
+from .schema import Attribute, Schema
+from .session import Answer, Dataset, Session
+
+__all__ = [
+    "A",
+    "Answer",
+    "Attribute",
+    "AttributeRef",
+    "CompiledBatch",
+    "CompiledQuery",
+    "Condition",
+    "Conjunction",
+    "Dataset",
+    "Plan",
+    "PlanEntry",
+    "QueryExpr",
+    "Schema",
+    "SchemaMismatchError",
+    "Session",
+    "compile_batch",
+    "compile_expr",
+    "count",
+    "marginal",
+    "plan_queries",
+    "prefix",
+    "ranges",
+    "total",
+    "union",
+]

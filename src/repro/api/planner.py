@@ -1,0 +1,370 @@
+"""The lazy query planner: compile, canonicalize, dedup, route — then spend.
+
+Expressions compile to implicit workload matrices; the planner
+canonicalizes each one to the registry's fingerprint scheme
+(:func:`repro.service.fingerprint.workload_fingerprint`), dedups
+identical queries across a batch (repeated expressions cost one
+compilation, one answer, and — on a miss — one joint ε debit), and
+routes every group through the cheapest serving path *before any budget
+is spent*:
+
+1. **cache** — a cached reconstruction's measured span contains the
+   query: answered free (Definition 5 post-processing);
+2. **warm**  — the miss union is already prepared (memo or registry):
+   measured through the fitted strategy, no cold fit;
+3. **direct** — a small unprepared miss batch with narrow joint support:
+   the sensitivity-1 selection measurement (no fit at all);
+4. **cold**  — everything else: fitting template + one accounted pass.
+
+The emitted :class:`Plan` is inspectable — per-group route, estimated ε
+debit, and expected per-query RMSE (Definition 7 via
+:func:`repro.core.error.rootmse` where a strategy is already known) —
+and its ε estimates are exact: executing the plan debits the accountant
+by precisely :attr:`Plan.total_epsilon`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.error import rootmse
+from ..linalg import Matrix, VStack
+from ..service.engine import QueryService
+from ..service.fingerprint import workload_fingerprint
+from .expr import QueryExpr
+from .schema import Schema
+
+__all__ = [
+    "CompiledBatch",
+    "CompiledQuery",
+    "Plan",
+    "PlanEntry",
+    "compile_batch",
+    "compile_expr",
+    "plan_queries",
+]
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One expression, vectorized and canonicalized.
+
+    ``fingerprint`` is the canonical identity used for dedup — two
+    expressions that vectorize to the same query set (``total()`` and a
+    full-domain range, say) share it.
+    """
+
+    expr: QueryExpr
+    matrix: Matrix
+    fingerprint: str
+    rows: int
+    schema: Schema
+
+    @property
+    def domain(self):
+        return self.schema.domain
+
+    def to_workload_matrix(self) -> Matrix:
+        return self.matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledQuery({self.expr!r}, rows={self.rows}, "
+            f"key={self.fingerprint[:12]}…)"
+        )
+
+
+class CompiledBatch:
+    """A deduped batch of compiled queries, remembering original order.
+
+    ``queries`` holds the distinct compiled queries;
+    ``index_map[i]`` is the position in ``queries`` answering the i-th
+    original expression.
+    """
+
+    def __init__(self, schema: Schema, queries: list[CompiledQuery], index_map: list[int]):
+        self.schema = schema
+        self.queries = queries
+        self.index_map = index_map
+
+    @property
+    def domain(self):
+        return self.schema.domain
+
+    def to_workload_matrix(self) -> Matrix:
+        mats = [q.matrix for q in self.queries]
+        if not mats:
+            raise ValueError("empty batch has no workload matrix")
+        return mats[0] if len(mats) == 1 else VStack(mats)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledBatch({len(self.index_map)} expressions, "
+            f"{len(self.queries)} distinct)"
+        )
+
+
+def compile_expr(expr: QueryExpr, schema: Schema) -> CompiledQuery:
+    """Vectorize one expression and attach its canonical fingerprint."""
+    matrix = expr.compile(schema)
+    return CompiledQuery(
+        expr=expr,
+        matrix=matrix,
+        fingerprint=workload_fingerprint(matrix, domain=schema.domain),
+        rows=int(matrix.shape[0]),
+        schema=schema,
+    )
+
+
+def compile_batch(exprs, schema: Schema) -> CompiledBatch:
+    """Compile a batch, deduping identical queries by fingerprint."""
+    queries: list[CompiledQuery] = []
+    by_key: dict[str, int] = {}
+    index_map: list[int] = []
+    for e in exprs:
+        cq = compile_expr(e, schema)
+        pos = by_key.get(cq.fingerprint)
+        if pos is None:
+            pos = len(queries)
+            by_key[cq.fingerprint] = pos
+            queries.append(cq)
+        index_map.append(pos)
+    return CompiledBatch(schema, queries, index_map)
+
+
+@dataclass
+class PlanEntry:
+    """One routed group of compiled queries.
+
+    ``epsilon`` is the exact debit executing this group will record;
+    ``None`` means the group *misses* and no ``eps`` was given to the
+    planner — executing such a plan raises
+    :class:`~repro.service.QueryMiss` before touching the budget.
+    """
+
+    route: str  # "cache" | "warm" | "direct" | "cold"
+    indices: tuple[int, ...]  # positions in the deduped batch
+    rows: int
+    key: str | None
+    epsilon: float | None
+    expected_rmse: float | None = None
+    detail: str = ""
+
+
+@dataclass
+class Plan:
+    """An inspectable, not-yet-executed serving plan for one batch.
+
+    ``total_epsilon`` is the exact accountant debit executing the plan
+    will record (0 for an all-hit batch) — *provided the plan is
+    executable*: when :attr:`requires_epsilon` is true (there are misses
+    but no ``eps`` was given), execution raises
+    :class:`~repro.service.QueryMiss` instead of spending.  Nothing is
+    measured, charged, or cached until the plan's batch is actually
+    served.
+    """
+
+    dataset: str
+    batch: CompiledBatch
+    entries: list[PlanEntry] = field(default_factory=list)
+    eps: float | None = None
+
+    @property
+    def total_epsilon(self) -> float:
+        return float(
+            sum(e.epsilon for e in self.entries if e.epsilon is not None)
+        )
+
+    @property
+    def requires_epsilon(self) -> bool:
+        """True when the batch has misses but no ``eps`` was supplied —
+        executing it would raise before spending anything."""
+        return any(e.epsilon is None for e in self.entries)
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of *expressions* (pre-dedup) answered at zero budget."""
+        if not self.batch.index_map:
+            return 1.0
+        free = {
+            i
+            for e in self.entries
+            if e.epsilon == 0.0
+            for i in e.indices
+        }
+        return sum(
+            1 for pos in self.batch.index_map if pos in free
+        ) / len(self.batch.index_map)
+
+    def explain(self) -> str:
+        """A routing table, one line per group."""
+        lines = [
+            f"Plan for dataset {self.dataset!r}: "
+            f"{len(self.batch.index_map)} expressions, "
+            f"{len(self.batch.queries)} distinct, "
+            f"estimated ε = {self.total_epsilon:g}"
+        ]
+        for e in self.entries:
+            rmse = f"{e.expected_rmse:.3g}" if e.expected_rmse is not None else "—"
+            key = f"{e.key[:12]}…" if e.key else "—"
+            eps = f"{e.epsilon:g}" if e.epsilon is not None else "required"
+            lines.append(
+                f"  [{e.route:>6}] {len(e.indices):>4} queries "
+                f"({e.rows:>5} rows)  ε={eps}  rmse≈{rmse}  "
+                f"key={key}"
+                + (f"  ({e.detail})" if e.detail else "")
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        routes = {}
+        for e in self.entries:
+            routes[e.route] = routes.get(e.route, 0) + len(e.indices)
+        return (
+            f"Plan(dataset={self.dataset!r}, routes={routes}, "
+            f"eps={self.total_epsilon:g})"
+        )
+
+
+def _safe_rmse(W: Matrix, A: Matrix, eps: float) -> float | None:
+    """Definition 7 per-query RMSE, or None where the structured error
+    algebra does not cover the (workload, strategy) pairing."""
+    if eps <= 0:
+        return None
+    try:
+        return float(rootmse(W, A, eps))
+    except Exception:
+        return None
+
+
+def _stack(mats: list[Matrix]) -> Matrix:
+    return mats[0] if len(mats) == 1 else VStack(mats)
+
+
+def plan_queries(
+    service: QueryService,
+    dataset: str,
+    batch: CompiledBatch,
+    eps: float | None = None,
+) -> Plan:
+    """Route a compiled batch without spending any budget.
+
+    Mirrors :meth:`repro.service.QueryService.answer`'s serving decisions
+    exactly — same span checks, same warm-strategy probe, same
+    direct-path thresholds — so the plan's routes and ε estimates are
+    what execution will do, not a guess.
+    """
+    plan = Plan(dataset=dataset, batch=batch, eps=eps)
+    if not batch.queries:
+        return plan
+
+    # 1. Free hits from cached reconstructions, grouped by covering key.
+    hit_groups: dict[str, list[int]] = {}
+    miss: list[int] = []
+    for i, cq in enumerate(batch.queries):
+        key = service.covering_key(dataset, cq.matrix)
+        if key is None:
+            miss.append(i)
+        else:
+            hit_groups.setdefault(key, []).append(i)
+    for key, idxs in hit_groups.items():
+        W = _stack([batch.queries[i].matrix for i in idxs])
+        recon = service.cached_reconstruction(dataset, key)
+        rmse = (
+            _safe_rmse(W, recon.strategy, recon.eps) if recon is not None else None
+        )
+        plan.entries.append(
+            PlanEntry(
+                route="cache",
+                indices=tuple(idxs),
+                rows=sum(batch.queries[i].rows for i in idxs),
+                key=key,
+                epsilon=0.0,
+                expected_rmse=rmse,
+                detail="measured-span projection",
+            )
+        )
+    if not miss:
+        return plan
+
+    # 2. The misses form one jointly-measured, jointly-accounted group,
+    # routed by the engine's own policy (QueryService.route_misses) so
+    # the plan cannot drift from what execution does.  With eps=None a
+    # miss group is *not executable* (answer() raises QueryMiss before
+    # spending): its epsilon estimate is None, never 0.
+    blocks = [batch.queries[i].matrix for i in miss]
+    W_miss = _stack(blocks)
+    rows = sum(batch.queries[i].rows for i in miss)
+    mroute = service.route_misses(blocks)
+    eps_est: float | None = float(eps) if eps is not None else None
+
+    if mroute.route == "warm":
+        rmse = (
+            _safe_rmse(W_miss, mroute.strategy, eps_est)
+            if eps_est is not None
+            else None
+        )
+        plan.entries.append(
+            PlanEntry(
+                route="warm",
+                indices=tuple(miss),
+                rows=rows,
+                key=mroute.key,
+                epsilon=eps_est,
+                expected_rmse=rmse,
+                detail="strategy already fitted",
+            )
+        )
+        return plan
+
+    if mroute.route == "direct":
+        cols = mroute.support_cols
+        if cols.size == 0:
+            plan.entries.append(
+                PlanEntry(
+                    route="direct",
+                    indices=tuple(miss),
+                    rows=rows,
+                    key=None,
+                    epsilon=0.0 if eps_est is not None else None,
+                    expected_rmse=0.0,
+                    detail="empty support: constant 0, data-independent",
+                )
+            )
+            return plan
+        rmse = None
+        if eps_est is not None:
+            from ..service.engine import selection_matrix
+
+            S = selection_matrix(cols, batch.domain.size())
+            rmse = _safe_rmse(W_miss, S, eps_est)
+        plan.entries.append(
+            PlanEntry(
+                route="direct",
+                indices=tuple(miss),
+                rows=rows,
+                key=None,
+                epsilon=eps_est,
+                expected_rmse=rmse,
+                detail=f"selection measurement on {cols.size} cells",
+            )
+        )
+        return plan
+
+    plan.entries.append(
+        PlanEntry(
+            route="cold",
+            indices=tuple(miss),
+            rows=rows,
+            key=mroute.key,
+            epsilon=eps_est,
+            expected_rmse=None,
+            detail="fitting template will run (RMSE known after SELECT)",
+        )
+    )
+    return plan

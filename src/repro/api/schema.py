@@ -1,0 +1,194 @@
+"""Named, value-aware schemas for the declarative query API.
+
+A :class:`Schema` is the client-side view of a relational domain: each
+attribute carries not just a size (what :class:`~repro.domain.Domain`
+records) but, for categorical attributes, the *vocabulary* of labels its
+integer codes stand for.  Expressions in :mod:`repro.api.expr` name
+attributes and values symbolically — ``A("sex").eq("F")`` — and the
+schema owns the mapping down to the integer-coded domain the physical
+layer vectorizes over.
+
+Two attribute kinds:
+
+* **categorical** — declared with an explicit vocabulary (a sequence of
+  labels); values in expressions may be labels or raw integer codes, and
+  an out-of-vocabulary label raises
+  :class:`~repro.domain.SchemaMismatchError` naming the attribute and its
+  vocabulary.
+* **ordinal** — declared with a size; values are integer codes in
+  ``[0, size)`` and support order predicates (ranges, prefixes).
+"""
+
+from __future__ import annotations
+
+import numbers
+from collections.abc import Mapping, Sequence
+
+from ..domain import Domain, SchemaMismatchError
+
+
+def _is_integral(value) -> bool:
+    """True for int-like codes (including numpy integer scalars), never
+    for booleans — the values usable as raw domain codes."""
+    return isinstance(value, numbers.Integral) and not isinstance(value, bool)
+
+__all__ = ["Attribute", "Schema"]
+
+
+class Attribute:
+    """One named attribute: a finite domain plus an optional vocabulary.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, as used in expressions.
+    size:
+        Domain size; required for ordinal attributes, inferred from
+        ``values`` for categorical ones.
+    values:
+        Vocabulary of labels (categorical attributes).  Label ``values[i]``
+        encodes to integer ``i``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int | None = None,
+        values: Sequence | None = None,
+    ):
+        self.name = str(name)
+        if values is not None:
+            self.values = tuple(values)
+            if len(set(self.values)) != len(self.values):
+                raise ValueError(
+                    f"attribute {self.name!r} has duplicate vocabulary values"
+                )
+            if size is not None and int(size) != len(self.values):
+                raise SchemaMismatchError(
+                    f"attribute {self.name!r}: size {size} conflicts with "
+                    f"vocabulary of {len(self.values)} values"
+                )
+            self.size = len(self.values)
+            self._codes = {v: i for i, v in enumerate(self.values)}
+        else:
+            if size is None:
+                raise ValueError(
+                    f"attribute {self.name!r} needs a size or a vocabulary"
+                )
+            self.values = None
+            self.size = int(size)
+            self._codes = None
+        if self.size <= 0:
+            raise ValueError(f"attribute {self.name!r} must have positive size")
+
+    @property
+    def categorical(self) -> bool:
+        return self.values is not None
+
+    def encode(self, value) -> int:
+        """Map a label (or raw integer code) to its integer code.
+
+        Raises :class:`~repro.domain.SchemaMismatchError` naming the
+        attribute, the offending value, and the expected domain.
+        """
+        if self._codes is not None:
+            try:
+                if value in self._codes:
+                    return self._codes[value]
+            except TypeError:
+                pass  # unhashable value: fall through to the named error
+        if not _is_integral(value):
+            expected = (
+                f"one of {list(self.values)}"
+                if self.categorical
+                else f"an integer in [0, {self.size})"
+            )
+            raise SchemaMismatchError(
+                f"attribute {self.name!r} has no value {value!r}; "
+                f"expected {expected}"
+            )
+        code = int(value)
+        if not 0 <= code < self.size:
+            raise SchemaMismatchError(
+                f"value {code} is outside attribute {self.name!r}'s domain "
+                f"[0, {self.size})"
+            )
+        return code
+
+    def __repr__(self) -> str:
+        kind = "categorical" if self.categorical else "ordinal"
+        return f"Attribute({self.name!r}, size={self.size}, {kind})"
+
+
+class Schema:
+    """An ordered collection of named attributes — the declarative domain.
+
+    Build one from a spec mapping each attribute name to either a size
+    (ordinal) or a vocabulary (categorical)::
+
+        schema = Schema.from_spec({
+            "age": 75,                 # ordinal, codes 0..74
+            "sex": ["M", "F"],         # categorical with labels
+            "hours": 20,
+        })
+
+    ``schema.domain`` is the physical :class:`~repro.domain.Domain` every
+    expression compiled against this schema vectorizes over.
+    """
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        self.attributes = tuple(attributes)
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be unique")
+        if not self.attributes:
+            raise ValueError("schema needs at least one attribute")
+        self._by_name = {a.name: a for a in self.attributes}
+        self.domain = Domain(names, [a.size for a in self.attributes])
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, int | Sequence]) -> "Schema":
+        """Build a schema from ``{name: size | vocabulary}`` (ordered)."""
+        attrs = []
+        for name, v in spec.items():
+            if isinstance(v, bool):
+                raise ValueError(f"attribute {name!r}: bool is not a size")
+            if _is_integral(v):
+                attrs.append(Attribute(name, size=int(v)))
+            else:
+                attrs.append(Attribute(name, values=v))
+        return cls(attrs)
+
+    @classmethod
+    def from_domain(cls, domain: Domain) -> "Schema":
+        """An all-ordinal schema over an existing physical domain."""
+        return cls([Attribute(a, size=n) for a, n in zip(domain.attributes, domain.sizes)])
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaMismatchError(
+                f"unknown attribute {name!r}; this schema has "
+                f"{[a.name for a in self.attributes]}"
+            ) from None
+
+    def encode(self, name: str, value) -> int:
+        """Encode one value of the named attribute to its integer code."""
+        return self.attribute(name).encode(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{a.name}: {list(a.values)!r}" if a.categorical else f"{a.name}: {a.size}"
+            for a in self.attributes
+        )
+        return f"Schema({inner})"

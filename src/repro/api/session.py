@@ -1,0 +1,264 @@
+"""The ``Session`` facade: declarative datasets over the serving stack.
+
+A :class:`Session` owns a :class:`~repro.service.QueryService` (registry,
+accountant, fitted-strategy memo) and hands out :class:`Dataset` handles
+that register data + schema once and then answer *expressions*::
+
+    from repro.api import A, Schema, Session, marginal
+
+    sess = Session(registry=..., accountant=...)
+    ds = sess.dataset(
+        "adult",
+        schema=Schema.from_spec({"age": 75, "sex": ["M", "F"]}),
+        data=x,
+        epsilon_cap=5.0,
+    )
+    plan = ds.plan([marginal("age"), A("sex").eq("F")], eps=0.5)
+    print(plan.explain())            # routes + ε before any spend
+    answers = ds.ask_many([marginal("age"), A("sex").eq("F")], eps=0.5)
+
+Execution defers entirely to the physical layer: ``ask_many`` compiles
+and dedups the batch, plans it, then serves it through
+:meth:`~repro.service.QueryService.answer` — so answers are exactly what
+the matrix-level API returns for the same compiled workload, with
+per-query provenance (route taken, ε charged, span-projection flag)
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..domain import SchemaMismatchError
+from ..service.accountant import PrivacyAccountant
+from ..service.engine import QueryService
+from ..service.registry import StrategyRegistry
+from .expr import QueryExpr
+from .planner import (
+    CompiledBatch,
+    CompiledQuery,
+    Plan,
+    compile_batch,
+    compile_expr,
+    plan_queries,
+)
+from .schema import Schema
+
+__all__ = ["Answer", "Dataset", "Session"]
+
+
+@dataclass
+class Answer:
+    """One answered expression, with serving provenance.
+
+    ``epsilon`` is the debit of the jointly-measured group this query
+    rode in (0 for a free hit; the group's single joint debit is
+    reported on each of its members, not split).  ``span_projected``
+    marks zero-budget answers served by projecting through a cached
+    reconstruction's measured span.
+    """
+
+    expr: QueryExpr
+    values: np.ndarray
+    route: str  # "cache" | "warm" | "direct" | "cold"
+    key: str | None
+    epsilon: float
+    span_projected: bool
+
+    @property
+    def value(self) -> float:
+        """The scalar answer of a single-row expression."""
+        if self.values.size != 1:
+            raise ValueError(
+                f"expression has {self.values.size} answers; use .values"
+            )
+        return float(self.values[0])
+
+    def __repr__(self) -> str:
+        head = (
+            f"{self.values[0]:g}" if self.values.size == 1
+            else f"[{self.values.size} values]"
+        )
+        return (
+            f"Answer({self.expr!r} = {head}, route={self.route}, "
+            f"eps={self.epsilon:g})"
+        )
+
+
+class Dataset:
+    """A registered (data, schema) pair answering declarative queries."""
+
+    def __init__(self, session: "Session", name: str, schema: Schema):
+        self.session = session
+        self.name = name
+        self.schema = schema
+
+    # -- compile / plan (lazy, budget-free) ---------------------------------
+    def compile(self, expr: QueryExpr) -> CompiledQuery:
+        """Vectorize one expression against this dataset's schema."""
+        return compile_expr(expr, self.schema)
+
+    def compile_many(self, exprs) -> CompiledBatch:
+        """Compile a batch, deduping identical queries by fingerprint."""
+        return compile_batch(exprs, self.schema)
+
+    def plan(self, exprs, eps: float | None = None) -> Plan:
+        """Route a batch without executing it: inspect before you spend."""
+        return plan_queries(
+            self.session.service, self.name, self.compile_many(exprs), eps
+        )
+
+    # -- execution ----------------------------------------------------------
+    def ask(
+        self,
+        expr: QueryExpr,
+        eps: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        **run_kwargs,
+    ) -> Answer:
+        """Answer one expression (free when cached; measured under ``eps``
+        otherwise — no ``eps`` raises on a miss before any spend)."""
+        return self.ask_many([expr], eps=eps, rng=rng, **run_kwargs)[0]
+
+    def ask_many(
+        self,
+        exprs,
+        eps: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        **run_kwargs,
+    ) -> list[Answer]:
+        """Answer a batch of expressions with per-query provenance.
+
+        Compiles and dedups the batch (repeated expressions are answered
+        once and share one ε debit), plans the routing, then serves the
+        distinct queries through the physical
+        :meth:`~repro.service.QueryService.answer` — hits free, misses
+        jointly measured under scalar ``eps``.  Extra keyword arguments
+        (``exact``, ``method``, ...) forward to the measurement pass.
+        """
+        exprs = list(exprs)
+        if not exprs:
+            return []
+        batch = self.compile_many(exprs)
+        # No separate planning pass: answer() makes (and reports, via
+        # QueryAnswer.route) the same routing decisions a Plan predicts,
+        # so execution does the span checks and probes exactly once.
+        result = self.session.service.answer(
+            self.name,
+            [cq.matrix for cq in batch.queries],
+            eps=eps,
+            rng=rng,
+            **run_kwargs,
+        )
+        out: list[Answer] = []
+        for orig, pos in enumerate(batch.index_map):
+            qa = result.answers[pos]
+            out.append(
+                Answer(
+                    expr=exprs[orig],
+                    values=qa.values,
+                    route=qa.route or ("cache" if qa.hit else "cold"),
+                    key=qa.key,
+                    epsilon=0.0 if qa.hit else result.charged,
+                    span_projected=bool(qa.hit),
+                )
+            )
+        return out
+
+    # -- budget -------------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        acct = self.session.service.accountant
+        return 0.0 if acct is None else acct.spent(self.name)
+
+    @property
+    def remaining(self) -> float:
+        acct = self.session.service.accountant
+        return float("inf") if acct is None else acct.remaining(self.name)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, schema={self.schema!r})"
+
+
+class Session:
+    """Entry point of the declarative API: datasets + the serving stack.
+
+    Parameters mirror :class:`~repro.service.QueryService` (and an
+    existing service can be passed directly via ``service=``); every
+    dataset registered through the session answers expressions compiled
+    against its own schema.
+    """
+
+    def __init__(
+        self,
+        registry: StrategyRegistry | None = None,
+        accountant: PrivacyAccountant | None = None,
+        service: QueryService | None = None,
+        **service_kwargs,
+    ):
+        if service is not None and (
+            registry is not None or accountant is not None or service_kwargs
+        ):
+            raise ValueError(
+                "pass either an existing service or construction arguments, "
+                "not both"
+            )
+        self.service = service or QueryService(
+            registry=registry, accountant=accountant, **service_kwargs
+        )
+        self._datasets: dict[str, Dataset] = {}
+
+    def dataset(
+        self,
+        name: str,
+        schema: Schema | None = None,
+        data: np.ndarray | None = None,
+        epsilon_cap: float | None = None,
+    ) -> Dataset:
+        """Register (or fetch) a dataset handle.
+
+        ``data`` is the contingency table: either the flat vector over
+        the schema's full domain, or the data tensor of shape
+        ``schema.domain.shape()`` (flattened in C order — the same
+        vectorization the compiled queries use).
+        """
+        if name in self._datasets:
+            if schema is not None or data is not None or epsilon_cap is not None:
+                raise ValueError(
+                    f"dataset {name!r} is already registered; fetch it "
+                    "without schema/data/epsilon_cap (budget caps are "
+                    "managed through the accountant)"
+                )
+            return self._datasets[name]
+        if schema is None or data is None:
+            raise SchemaMismatchError(
+                f"dataset {name!r} is not registered; pass schema= and data="
+            )
+        x = np.asarray(data, dtype=np.float64)
+        if x.ndim > 1:
+            if x.shape != schema.domain.shape():
+                raise SchemaMismatchError(
+                    f"dataset {name!r}: data tensor has shape {x.shape}, "
+                    f"but the schema's domain is "
+                    f"{dict(zip(schema.domain.attributes, schema.domain.sizes))}"
+                )
+            x = x.reshape(-1)
+        elif x.shape[0] != schema.domain.size():
+            raise SchemaMismatchError(
+                f"dataset {name!r}: data vector has length {x.shape[0]}, but "
+                f"the schema's full domain "
+                f"{dict(zip(schema.domain.attributes, schema.domain.sizes))} "
+                f"has size {schema.domain.size()}"
+            )
+        self.service.add_dataset(name, x, epsilon_cap=epsilon_cap)
+        handle = Dataset(self, name, schema)
+        self._datasets[name] = handle
+        return handle
+
+    def datasets(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def __repr__(self) -> str:
+        return f"Session(datasets={self.datasets()}, service={self.service!r})"

@@ -34,7 +34,7 @@ import numpy as np
 from ..linalg import Matrix
 from ..optimize import OptResult, opt_hdmm
 from ..optimize.parallel import spawn_seeds
-from ..workload.logical import LogicalWorkload, implicit_vectorize
+from ..workload.logical import LogicalWorkload, as_workload_matrix
 from .error import expected_error, rootmse
 from .measure import laplace_measure, laplace_measure_batch
 from .reconstruct import answer_workload, least_squares, resolves_to_direct
@@ -72,9 +72,14 @@ class HDMM:
 
     # -- SELECT -----------------------------------------------------------
     def fit(self, workload: Matrix | LogicalWorkload, **opt_kwargs) -> "HDMM":
-        """Vectorize (if logical) and select a strategy.  Data-independent."""
-        if isinstance(workload, LogicalWorkload):
-            workload = implicit_vectorize(workload)
+        """Vectorize and select a strategy.  Data-independent.
+
+        Accepts anything in the workload protocol: an implicit matrix, a
+        :class:`~repro.workload.LogicalWorkload`, or a compiled query
+        plan from :mod:`repro.api` (any object with
+        ``to_workload_matrix()``).
+        """
+        workload, _ = as_workload_matrix(workload)
         self.workload = workload
         self.result = opt_hdmm(
             workload, restarts=self.restarts, rng=self.rng, **opt_kwargs

@@ -13,6 +13,20 @@ import math
 from collections.abc import Iterable, Mapping
 
 
+class SchemaMismatchError(KeyError, ValueError):
+    """A query, workload, or value does not fit the schema it was used with.
+
+    Raised with a message naming the offending dataset/attribute and the
+    expected domain shape, wherever the library previously produced a bare
+    shape-mismatch error.  Subclasses both :class:`KeyError` (unknown
+    attribute / dataset lookups) and :class:`ValueError` (shape and
+    vocabulary mismatches) so existing ``except`` clauses keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return Exception.__str__(self)
+
+
 class Domain:
     """An ordered mapping from attribute names to finite domain sizes.
 
@@ -39,6 +53,15 @@ class Domain:
             raise ValueError("all domain sizes must be positive")
         self._index = {a: i for i, a in enumerate(self.attributes)}
 
+    def _position(self, attr: str) -> int:
+        try:
+            return self._index[attr]
+        except KeyError:
+            raise SchemaMismatchError(
+                f"unknown attribute {attr!r}; this domain has "
+                f"{list(self.attributes)}"
+            ) from None
+
     @classmethod
     def fromdict(cls, mapping: Mapping[str, int]) -> "Domain":
         """Build a domain from an ordered ``{attribute: size}`` mapping."""
@@ -48,18 +71,21 @@ class Domain:
         """Total domain size ``N``, or the size of a single attribute."""
         if attr is None:
             return math.prod(self.sizes)
-        return self.sizes[self._index[attr]]
+        return self.sizes[self._position(attr)]
 
     def index(self, attr: str) -> int:
         """Position of ``attr`` in the attribute ordering."""
-        return self._index[attr]
+        return self._position(attr)
 
     def project(self, attrs: Iterable[str]) -> "Domain":
         """The sub-domain over ``attrs``, keeping this domain's order."""
         keep = set(attrs)
         unknown = keep - set(self.attributes)
         if unknown:
-            raise KeyError(f"unknown attributes: {sorted(unknown)}")
+            raise SchemaMismatchError(
+                f"unknown attributes {sorted(unknown)}; this domain has "
+                f"{list(self.attributes)}"
+            )
         pairs = [(a, n) for a, n in zip(self.attributes, self.sizes) if a in keep]
         return Domain([a for a, _ in pairs], [n for _, n in pairs])
 
@@ -73,7 +99,10 @@ class Domain:
         sizes = dict(zip(self.attributes, self.sizes))
         for a, n in zip(other.attributes, other.sizes):
             if sizes.setdefault(a, n) != n:
-                raise ValueError(f"conflicting sizes for attribute {a!r}")
+                raise SchemaMismatchError(
+                    f"conflicting sizes for attribute {a!r}: "
+                    f"{sizes[a]} here vs {n} in the merged domain"
+                )
         return Domain(sizes.keys(), sizes.values())
 
     def shape(self) -> tuple[int, ...]:
@@ -90,7 +119,7 @@ class Domain:
         return iter(self.attributes)
 
     def __getitem__(self, attr: str) -> int:
-        return self.sizes[self._index[attr]]
+        return self.sizes[self._position(attr)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Domain):

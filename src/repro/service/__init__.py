@@ -16,12 +16,15 @@ facts into a service:
   measurement for everything else.
 """
 
+from ..domain import SchemaMismatchError
 from .accountant import BudgetExceededError, LedgerEntry, PrivacyAccountant
 from .engine import (
     BatchResult,
+    MissRoute,
     QueryAnswer,
     QueryMiss,
     QueryService,
+    Reconstruction,
     ServeResult,
     in_measured_span,
 )
@@ -32,10 +35,13 @@ __all__ = [
     "BatchResult",
     "BudgetExceededError",
     "LedgerEntry",
+    "MissRoute",
     "PrivacyAccountant",
     "QueryAnswer",
     "QueryMiss",
     "QueryService",
+    "Reconstruction",
+    "SchemaMismatchError",
     "ServeResult",
     "StrategyRecord",
     "StrategyRegistry",

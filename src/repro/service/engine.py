@@ -26,14 +26,17 @@ measurement.  The serving rules:
   :meth:`QueryService.answer` routes a mixed batch: cache hits are
   answered free, and the misses are stacked into one ad-hoc union
   workload measured in a single accounted ``run_batch`` pass.
-* **small cold misses skip SELECT entirely** — a one-off miss batch at
-  or below ``direct_miss_threshold`` query rows (touching at most
-  ``DIRECT_MISS_SUPPORT_LIMIT`` domain cells) is not worth a full
-  strategy fit: the service measures a sensitivity-1 selection matrix
-  over the queries' joint support instead (Laplace on the touched cells
-  only), reconstructs by transposition, and caches the result like any
-  other measurement so repeated ad-hoc traffic on the same support
-  becomes free hits.
+* **small cold misses skip SELECT entirely** — an *unprepared* one-off
+  miss batch at or below ``direct_miss_threshold`` query rows (touching
+  at most ``DIRECT_MISS_SUPPORT_LIMIT`` domain cells) is not worth a
+  full strategy fit: the service measures a sensitivity-1 selection
+  matrix over the queries' joint support instead (Laplace on the touched
+  cells only), reconstructs by transposition, and caches the result like
+  any other measurement so repeated ad-hoc traffic on the same support
+  becomes free hits.  A miss union that is already prepared (memo or
+  registry — :meth:`QueryService.probe`) is measured through its fitted
+  strategy instead: warm beats direct in the routing order, because the
+  fitted measurement is more accurate and costs no fit either.
 """
 
 from __future__ import annotations
@@ -51,19 +54,24 @@ from ..core.solvers import (
     validate_epsilon,
     validate_positive_int,
 )
-from ..domain import Domain
-from ..linalg import Dense, Matrix
-from ..workload.logical import LogicalWorkload, implicit_vectorize
+from ..domain import Domain, SchemaMismatchError
+from ..linalg import Dense, Matrix, VStack
+from ..workload.logical import as_workload_matrix
 from .accountant import PrivacyAccountant
 from .registry import StrategyRegistry
 
 __all__ = [
     "BatchResult",
+    "MissRoute",
     "QueryAnswer",
     "QueryMiss",
     "QueryService",
+    "Reconstruction",
+    "SchemaMismatchError",
     "ServeResult",
     "in_measured_span",
+    "joint_support",
+    "selection_matrix",
 ]
 
 #: Largest joint query support (touched cells) the cold-miss fast path
@@ -107,15 +115,56 @@ class QueryMiss(LookupError):
 
 
 def _as_query_matrix(q: Matrix | np.ndarray) -> Matrix:
-    """Normalize an ad-hoc query to an implicit matrix (rows = queries)."""
+    """Normalize an ad-hoc query to an implicit matrix (rows = queries).
+
+    Accepts implicit matrices, raw 1-/2-D arrays, and compiled query
+    plans (objects with ``to_workload_matrix()``, e.g. from
+    :mod:`repro.api`).
+    """
     if isinstance(q, Matrix):
         return q
+    if hasattr(q, "to_workload_matrix"):
+        return as_workload_matrix(q)[0]
     arr = np.asarray(q, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr[None, :]
     if arr.ndim != 2:
         raise ValueError(f"query must be a matrix or 1-/2-D array, got {q!r}")
     return Dense(arr)
+
+
+def selection_matrix(cols: np.ndarray, n: int) -> Matrix:
+    """The sensitivity-1 selection matrix over the given support cells —
+    the strategy the direct miss path measures (``S⁺ = Sᵀ``).  Shared
+    with the planner so expected-error estimates are computed on exactly
+    the matrix execution will measure."""
+    import scipy.sparse as sp
+
+    from ..linalg.structured import SparseMatrix
+
+    return SparseMatrix(
+        sp.csr_matrix(
+            (np.ones(cols.size), (np.arange(cols.size), cols)),
+            shape=(cols.size, n),
+        )
+    )
+
+
+def joint_support(blocks: list[Matrix], n: int) -> np.ndarray:
+    """Boolean mask of the domain cells touched by any query row.
+
+    Row-at-a-time via ``rmatvec`` keeps the transient memory O(n):
+    densifying a whole block first would allocate rows x n before a
+    support limit can reject the batch.
+    """
+    support = np.zeros(n, dtype=bool)
+    for Q in blocks:
+        e = np.zeros(Q.shape[0])
+        for i in range(Q.shape[0]):
+            e[i] = 1.0
+            support |= Q.rmatvec(e) != 0
+            e[i] = 0.0
+    return support
 
 
 def in_measured_span(A: Matrix, q: Matrix | np.ndarray, tol: float = SPAN_TOL) -> bool:
@@ -178,12 +227,34 @@ class QueryAnswer:
 
     ``hit`` marks a zero-budget answer from a cached reconstruction;
     ``key`` names the strategy fingerprint whose measurement produced the
-    reconstruction used.
+    reconstruction used; ``route`` records which serving path produced
+    the answer (``"cache"`` / ``"warm"`` / ``"direct"`` / ``"cold"``) —
+    the provenance the declarative layer surfaces per query.
     """
 
     values: np.ndarray
     hit: bool
     key: str | None = None
+    route: str | None = None
+
+
+@dataclass
+class MissRoute:
+    """The routing decision for one miss batch — shared by the planner.
+
+    ``route`` is ``"warm"`` (strategy already in memo/registry),
+    ``"direct"`` (small unprepared batch with narrow support: selection
+    measurement, no fit) or ``"cold"`` (fitting template).  For the
+    direct route ``support_cols`` carries the joint-support cells the
+    selection matrix will measure (possibly empty: an all-zero batch is
+    answered free).  Computing a route never touches data or budget.
+    """
+
+    route: str
+    key: str | None
+    strategy: Matrix | None
+    loss: float | None
+    support_cols: np.ndarray | None = None
 
 
 @dataclass
@@ -197,7 +268,15 @@ class BatchResult:
 
 
 @dataclass
-class _Reconstruction:
+class Reconstruction:
+    """A cached post-measurement reconstruction: the free-serving asset.
+
+    ``key`` is the fingerprint of the strategy whose measurement produced
+    ``x_hat``; ``eps`` the budget that measurement spent (higher ε =
+    more accurate cache).  Queries in ``strategy``'s measured span are
+    answered from ``x_hat`` at zero additional budget.
+    """
+
     key: str
     strategy: Matrix
     x_hat: np.ndarray
@@ -207,7 +286,7 @@ class _Reconstruction:
 @dataclass
 class _DatasetState:
     x: np.ndarray
-    reconstructions: dict[str, _Reconstruction] = field(default_factory=dict)
+    reconstructions: dict[str, Reconstruction] = field(default_factory=dict)
 
 
 class QueryService:
@@ -288,21 +367,21 @@ class QueryService:
         return self._datasets[name]
 
     # -- SELECT (amortized, budget-free) ------------------------------------
-    def prepare(
+    def probe(
         self,
-        workload: Matrix | LogicalWorkload,
+        workload,
         domain: Domain | None = None,
-    ) -> tuple[str, Matrix, float | None, bool]:
-        """Resolve a workload to a serve-ready strategy.
+    ) -> tuple[str, Matrix | None, float | None]:
+        """Resolve a workload to a *warm* strategy without ever fitting.
 
-        Returns ``(key, strategy, loss, from_registry)``.  Resolution
-        order: in-memory memo → registry → cold fit (persisted back to
-        the registry).  Never touches data or budget.
+        Returns ``(key, strategy, loss)`` with ``strategy=None`` when
+        neither the in-memory memo nor the registry holds one — the
+        planner's view of the routing table: a non-``None`` strategy
+        means the workload serves without a cold ``HDMM.fit``.  A
+        registry hit is memoized, so probing is idempotent and cheap.
+        Never touches data or budget.
         """
-        if isinstance(workload, LogicalWorkload):
-            if domain is None:
-                domain = workload.domain
-            workload = implicit_vectorize(workload)
+        workload, domain = as_workload_matrix(workload, domain)
         if self.registry is not None:
             key = self.registry.key_for(
                 workload, domain=domain, template=self.template
@@ -315,14 +394,31 @@ class QueryService:
             )
         if key in self._prepared:
             strategy, loss = self._prepared[key]
-            return key, strategy, loss, True
+            return key, strategy, loss
         if self.registry is not None:
             record = self.registry.get(
                 workload, domain=domain, template=self.template
             )
             if record is not None:
                 self._prepared[key] = (record.strategy, record.loss)
-                return key, record.strategy, record.loss, True
+                return key, record.strategy, record.loss
+        return key, None, None
+
+    def prepare(
+        self,
+        workload,
+        domain: Domain | None = None,
+    ) -> tuple[str, Matrix, float | None, bool]:
+        """Resolve a workload to a serve-ready strategy.
+
+        Returns ``(key, strategy, loss, from_registry)``.  Resolution
+        order: in-memory memo → registry → cold fit (persisted back to
+        the registry).  Never touches data or budget.
+        """
+        workload, domain = as_workload_matrix(workload, domain)
+        key, strategy, loss = self.probe(workload, domain=domain)
+        if strategy is not None:
+            return key, strategy, loss, True
         mech = HDMM(restarts=self.restarts, rng=self.rng)
         mech.fit(workload, **self.fit_kwargs)
         loss = mech.result.loss
@@ -341,7 +437,7 @@ class QueryService:
     def measure(
         self,
         dataset: str,
-        workload: Matrix | LogicalWorkload,
+        workload,
         eps: float | np.ndarray,
         trials: int = 1,
         rng: np.random.Generator | int | None = None,
@@ -367,10 +463,7 @@ class QueryService:
         already cached, which is retained instead.
         """
         ds = self._dataset(dataset)
-        if isinstance(workload, LogicalWorkload):
-            if domain is None:
-                domain = workload.domain
-            workload = implicit_vectorize(workload)
+        workload, domain = as_workload_matrix(workload, domain)
         eps_arr = np.atleast_1d(validate_epsilon(eps))
         if eps_arr.ndim != 1:
             raise ValueError(
@@ -381,9 +474,15 @@ class QueryService:
         # Every cheap precondition runs before the debit: a programming
         # error (wrong dataset/workload pairing) must not burn budget.
         if workload.shape[1] != ds.x.shape[0]:
-            raise ValueError(
+            raise SchemaMismatchError(
                 f"workload domain size {workload.shape[1]} does not match "
-                f"dataset {dataset!r} data vector of length {ds.x.shape[0]}"
+                f"dataset {dataset!r}, whose data vector has length "
+                f"{ds.x.shape[0]}"
+                + (
+                    f" (expected domain {dict(zip(domain.attributes, domain.sizes))})"
+                    if domain is not None
+                    else ""
+                )
             )
 
         key, strategy, loss, from_registry = self.prepare(workload, domain=domain)
@@ -407,7 +506,7 @@ class QueryService:
             best = int(np.argmax(eps_arr))
             existing = ds.reconstructions.get(key)
             if existing is None or float(eps_arr[best]) >= existing.eps:
-                ds.reconstructions[key] = _Reconstruction(
+                ds.reconstructions[key] = Reconstruction(
                     key=key,
                     strategy=strategy,
                     x_hat=np.ascontiguousarray(x_hat[best, 0]),
@@ -425,28 +524,94 @@ class QueryService:
         )
 
     # -- free post-processing ------------------------------------------------
-    def query(self, dataset: str, q: Matrix | np.ndarray) -> QueryAnswer:
-        """Answer a linear query from cached reconstructions — zero budget.
-
-        Scans the dataset's reconstructions newest-first and answers from
-        the first whose measured span contains the query (Definition 5
-        post-processing: no accountant debit).  Raises :class:`QueryMiss`
-        when no cache entry covers it — callers decide whether to spend
-        budget via :meth:`answer` or :meth:`measure`.
-        """
-        ds = self._dataset(dataset)
-        Q = _as_query_matrix(q)
+    def _find_cover(self, ds: _DatasetState, Q: Matrix) -> Reconstruction | None:
+        """Newest cached reconstruction whose measured span contains Q."""
         for recon in reversed(list(ds.reconstructions.values())):
             if Q.shape[1] == recon.strategy.shape[1] and in_measured_span(
                 recon.strategy, Q, tol=self.span_tol
             ):
-                # Q @ x̂ via the implicit operator keeps structured queries
-                # (marginals, ranges) on their fast paths.
-                values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
-                return QueryAnswer(values=values, hit=True, key=recon.key)
-        raise QueryMiss(
-            f"no cached reconstruction of dataset {dataset!r} spans the query"
+                return recon
+        return None
+
+    def covering_key(self, dataset: str, q: Matrix | np.ndarray) -> str | None:
+        """Fingerprint of the cached reconstruction that would answer ``q``
+        for free, or ``None`` — the planner's free-hit probe.  Spends no
+        budget and records nothing."""
+        recon = self._find_cover(self._dataset(dataset), _as_query_matrix(q))
+        return None if recon is None else recon.key
+
+    def cached_reconstruction(
+        self, dataset: str, key: str
+    ) -> Reconstruction | None:
+        """The cached :class:`Reconstruction` under ``key``, if any."""
+        return self._dataset(dataset).reconstructions.get(key)
+
+    def route_misses(self, blocks: list[Matrix]) -> MissRoute:
+        """Decide the serving path of a miss batch — the single routing
+        policy both :meth:`answer` and the declarative planner consult,
+        so a plan's routes are by construction what execution does.
+
+        Cheapest first: a **warm** strategy for the exact miss union
+        (memo or registry — more accurate than per-cell measurement,
+        never fits) → the **direct** selection measurement for a small
+        unprepared batch whose joint support fits
+        :data:`DIRECT_MISS_SUPPORT_LIMIT` → the **cold** fitting
+        template.  Budget-free and side-effect-free apart from memoizing
+        a registry hit.
+        """
+        key = None
+        # Warm is impossible with no registry and an empty memo — skip
+        # the canonicalize-and-hash of the miss union (O(rows x n) for
+        # dense ad-hoc queries) that probing would spend finding out.
+        if self.registry is not None or self._prepared:
+            W_miss = blocks[0] if len(blocks) == 1 else VStack(blocks)
+            key, strategy, loss = self.probe(W_miss)
+            if strategy is not None:
+                return MissRoute("warm", key, strategy, loss)
+        rows = sum(Q.shape[0] for Q in blocks)
+        if 0 < rows <= self.direct_miss_threshold:
+            cols = np.flatnonzero(joint_support(blocks, blocks[0].shape[1]))
+            if cols.size <= DIRECT_MISS_SUPPORT_LIMIT:
+                return MissRoute("direct", None, None, None, cols)
+        return MissRoute("cold", key, None, None)
+
+    def query(
+        self,
+        dataset: str,
+        q: Matrix | np.ndarray,
+        eps: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        stage: str = "",
+        **run_kwargs,
+    ) -> QueryAnswer:
+        """Answer a single linear query — free when cached, else measured.
+
+        Scans the dataset's reconstructions newest-first and answers from
+        the first whose measured span contains the query (Definition 5
+        post-processing: no accountant debit).  On a cache miss the query
+        delegates to the same miss-batching path as :meth:`answer` — so a
+        cold single query benefits from the direct-measure fast path and
+        its support-keyed caching exactly like a batch of one.  With no
+        ``eps``, a miss raises :class:`QueryMiss` before touching the
+        budget — callers decide whether to spend.
+        """
+        ds = self._dataset(dataset)
+        Q = _as_query_matrix(q)
+        recon = self._find_cover(ds, Q)
+        if recon is not None:
+            # Q @ x̂ via the implicit operator keeps structured queries
+            # (marginals, ranges) on their fast paths.
+            values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
+            return QueryAnswer(values=values, hit=True, key=recon.key)
+        if eps is None:
+            raise QueryMiss(
+                f"no cached reconstruction of dataset {dataset!r} spans the "
+                "query (pass eps= to measure it)"
+            )
+        batch = self.answer(
+            dataset, [Q], eps=eps, rng=rng, stage=stage, **run_kwargs
         )
+        return batch.answers[0]
 
     def _measure_misses_direct(
         self,
@@ -456,6 +621,7 @@ class QueryService:
         rng: np.random.Generator | int | None,
         stage: str,
         cache: bool = True,
+        cols: np.ndarray | None = None,
     ) -> tuple[str, np.ndarray, float] | None:
         """Cold-miss fast path: direct measurement of the queries' support.
 
@@ -484,17 +650,8 @@ class QueryService:
         charged = float(validate_epsilon(eps, "eps"))
         ds = self._dataset(dataset)
         n = ds.x.shape[0]
-        support = np.zeros(n, dtype=bool)
-        for Q in blocks:
-            # Row-at-a-time via rmatvec keeps the transient memory O(n):
-            # densifying a whole block first would allocate rows x n
-            # before the support limit below can reject the batch.
-            e = np.zeros(Q.shape[0])
-            for i in range(Q.shape[0]):
-                e[i] = 1.0
-                support |= Q.rmatvec(e) != 0
-                e[i] = 0.0
-        cols = np.flatnonzero(support)
+        if cols is None:
+            cols = np.flatnonzero(joint_support(blocks, n))
         if cols.size > DIRECT_MISS_SUPPORT_LIMIT:
             return None
         key = f"direct:{hashlib.sha256(cols.tobytes()).hexdigest()[:16]}"
@@ -507,7 +664,7 @@ class QueryService:
                 S_empty = SparseMatrix(sp.csr_matrix((0, n)))
                 ds.reconstructions.setdefault(
                     key,
-                    _Reconstruction(
+                    Reconstruction(
                         key=key, strategy=S_empty, x_hat=np.zeros(n), eps=np.inf
                     ),
                 )
@@ -516,19 +673,14 @@ class QueryService:
             self.accountant.charge(
                 dataset, charged, stage=stage or "answer:direct"
             )
-        S = SparseMatrix(
-            sp.csr_matrix(
-                (np.ones(cols.size), (np.arange(cols.size), cols)),
-                shape=(cols.size, n),
-            )
-        )
+        S = selection_matrix(cols, n)
         y = laplace_measure(S, ds.x, charged, rng)
         x_hat = np.zeros(n)
         x_hat[cols] = y  # S⁺ = Sᵀ for a selection matrix
         if cache:
             existing = ds.reconstructions.get(key)
             if existing is None or charged >= existing.eps:
-                ds.reconstructions[key] = _Reconstruction(
+                ds.reconstructions[key] = Reconstruction(
                     key=key, strategy=S, x_hat=x_hat, eps=charged
                 )
         return key, x_hat, charged
@@ -546,16 +698,24 @@ class QueryService:
         for the misses.
 
         Every query answerable from a cached reconstruction is served
-        with zero debit.  A miss batch totalling at most
-        :attr:`direct_miss_threshold` query rows whose joint support does
-        not exceed :data:`DIRECT_MISS_SUPPORT_LIMIT` cells takes the
-        cold-miss fast path (:meth:`_measure_misses_direct`): a direct
-        selection measurement on the joint query support, no strategy
-        fit, with solver-related keyword arguments not applicable (the
-        direct reconstruction is closed-form and deterministic).  Other
-        miss batches are stacked into a single union workload and
-        measured together through one
-        :meth:`~repro.core.hdmm.HDMM.run_batch` call under ``eps``.
+        with zero debit.  The misses are stacked into one union workload
+        and routed through the cheapest remaining path, in order:
+
+        1. **warm strategy** — if the miss union is already prepared (in
+           the memo or the registry), it is measured through that fitted
+           strategy: more accurate than per-cell measurement, and never
+           triggers a fit;
+        2. **direct measurement** — an unprepared miss batch totalling at
+           most :attr:`direct_miss_threshold` query rows whose joint
+           support does not exceed :data:`DIRECT_MISS_SUPPORT_LIMIT`
+           cells takes the cold-miss fast path
+           (:meth:`_measure_misses_direct`): a selection measurement on
+           the joint query support, no strategy fit, with solver-related
+           keyword arguments not applicable (the direct reconstruction
+           is closed-form and deterministic);
+        3. **cold fit** — everything else runs the fitting template and
+           is measured through one
+           :meth:`~repro.core.hdmm.HDMM.run_batch` call under ``eps``.
         Either way sequential composition debits ``eps`` once for the
         whole miss batch — jointly measured, jointly accounted.  ``eps``
         must be a scalar and the pass runs one trial: each miss query
@@ -574,12 +734,23 @@ class QueryService:
             )
         ds = self._dataset(dataset)
         mats = [_as_query_matrix(q) for q in queries]
+        n = ds.x.shape[0]
+        for Q in mats:
+            if Q.shape[1] != n:
+                raise SchemaMismatchError(
+                    f"query over {Q.shape[1]} domain cells does not match "
+                    f"dataset {dataset!r}, whose data vector has length {n}"
+                )
         answers: list[QueryAnswer | None] = [None] * len(mats)
         miss_idx: list[int] = []
         for i, Q in enumerate(mats):
-            try:
-                answers[i] = self.query(dataset, Q)
-            except QueryMiss:
+            recon = self._find_cover(ds, Q)
+            if recon is not None:
+                values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
+                answers[i] = QueryAnswer(
+                    values=values, hit=True, key=recon.key, route="cache"
+                )
+            else:
                 miss_idx.append(i)
 
         charged = 0.0
@@ -589,11 +760,9 @@ class QueryService:
                     f"{len(miss_idx)} queries miss the reconstruction cache "
                     "and no eps was provided to measure them"
                 )
-            from ..linalg import VStack
-
             blocks = [mats[i] for i in miss_idx]
-            miss_rows = sum(Q.shape[0] for Q in blocks)
-            if 0 < miss_rows <= self.direct_miss_threshold:
+            mroute = self.route_misses(blocks)
+            if mroute.route == "direct":
                 # Cold-miss fast path: measure the joint query support
                 # directly instead of fitting a strategy for a one-off.
                 # Solver-related run_kwargs (method=, exact=, ...) do not
@@ -608,27 +777,26 @@ class QueryService:
                         f"answer() got unknown measure options {sorted(unknown)}; "
                         f"valid options are {sorted(ANSWER_MEASURE_OPTIONS)}"
                     )
-                direct = self._measure_misses_direct(
+                key, x_hat, charged = self._measure_misses_direct(
                     dataset,
                     blocks,
                     eps,
                     rng,
                     stage,
                     cache=run_kwargs.get("cache", True),
+                    cols=mroute.support_cols,
                 )
-                if direct is not None:
-                    key, x_hat, charged = direct
-                    for i in miss_idx:
-                        values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
-                        answers[i] = QueryAnswer(
-                            values=values, hit=False, key=key
-                        )
-                    return BatchResult(
-                        answers=list(answers),  # type: ignore[arg-type]
-                        charged=charged,
-                        hits=len(mats) - len(miss_idx),
-                        misses=len(miss_idx),
+                for i in miss_idx:
+                    values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
+                    answers[i] = QueryAnswer(
+                        values=values, hit=False, key=key, route="direct"
                     )
+                return BatchResult(
+                    answers=list(answers),  # type: ignore[arg-type]
+                    charged=charged,
+                    hits=len(mats) - len(miss_idx),
+                    misses=len(miss_idx),
+                )
             W_miss = blocks[0] if len(blocks) == 1 else VStack(blocks)
             result = self.measure(
                 dataset,
@@ -647,6 +815,7 @@ class QueryService:
                     values=flat[offset : offset + rows],
                     hit=False,
                     key=result.key,
+                    route="warm" if result.from_registry else "cold",
                 )
                 offset += rows
         return BatchResult(

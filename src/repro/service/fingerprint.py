@@ -33,8 +33,8 @@ import hashlib
 import numpy as np
 
 from ..domain import Domain
-from ..linalg import Matrix, matrix_to_config
-from ..workload.logical import LogicalWorkload, implicit_vectorize
+from ..linalg import matrix_to_config
+from ..workload.logical import as_workload_matrix
 from ..workload.util import attribute_sizes
 
 __all__ = ["canonical_config", "config_digest", "workload_fingerprint"]
@@ -126,7 +126,7 @@ def config_digest(config) -> str:
 
 
 def workload_fingerprint(
-    workload: Matrix | LogicalWorkload,
+    workload,
     domain: Domain | None = None,
     template: str | None = None,
 ) -> str:
@@ -135,8 +135,9 @@ def workload_fingerprint(
     Parameters
     ----------
     workload:
-        Implicit workload matrix or a :class:`LogicalWorkload` (vectorized
-        via ImpVec first, and its own domain used unless overridden).
+        Implicit workload matrix, a :class:`LogicalWorkload`, or a
+        compiled query plan (any ``to_workload_matrix()`` object) —
+        vectorized first, with its own domain used unless overridden.
     domain:
         The relational schema being served.  Defaults to the workload's
         own domain when logical, else the per-attribute sizes recovered
@@ -147,10 +148,7 @@ def workload_fingerprint(
         ``"opt_hdmm"``, ``"opt_marginals"``); strategies fitted by
         different templates never collide.
     """
-    if isinstance(workload, LogicalWorkload):
-        if domain is None:
-            domain = workload.domain
-        workload = implicit_vectorize(workload)
+    workload, domain = as_workload_matrix(workload, domain)
     if domain is not None:
         dom = {"attributes": list(domain.attributes), "sizes": list(domain.sizes)}
     else:

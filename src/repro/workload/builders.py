@@ -13,7 +13,7 @@ import itertools
 
 import numpy as np
 
-from ..domain import Domain
+from ..domain import Domain, SchemaMismatchError
 from ..linalg import (
     AllRange,
     Identity,
@@ -104,7 +104,10 @@ def marginal(domain: Domain, attrs) -> Matrix:
     keep = set(attrs)
     unknown = keep - set(domain.attributes)
     if unknown:
-        raise KeyError(f"unknown attributes: {sorted(unknown)}")
+        raise SchemaMismatchError(
+            f"unknown attributes {sorted(unknown)}; the domain has "
+            f"{list(domain.attributes)}"
+        )
     factors: list[Matrix] = [
         Identity(n) if a in keep else Ones(1, n)
         for a, n in zip(domain.attributes, domain.sizes)

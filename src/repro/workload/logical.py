@@ -17,16 +17,24 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..domain import Domain
+from ..domain import Domain, SchemaMismatchError
 from ..linalg import Kronecker, Matrix, Ones, VStack, Weighted
 from .predicates import Predicate, TruePredicate, vectorize_set
+
+
+def _as_predicate_list(preds: Predicate | Sequence[Predicate]) -> list[Predicate]:
+    """Accept a bare predicate where a predicate set is expected."""
+    if isinstance(preds, Predicate):
+        return [preds]
+    return list(preds)
 
 
 class Product:
     """A product query set: one predicate set per attribute.
 
     Attributes not mentioned implicitly carry the ``Total`` predicate set
-    (they are neither filtered nor grouped).
+    (they are neither filtered nor grouped).  A bare :class:`Predicate`
+    is accepted as a singleton set.
 
     Parameters
     ----------
@@ -37,14 +45,19 @@ class Product:
     """
 
     def __init__(
-        self, domain: Domain, predicate_sets: Mapping[str, Sequence[Predicate]]
+        self,
+        domain: Domain,
+        predicate_sets: Mapping[str, Predicate | Sequence[Predicate]],
     ):
         unknown = set(predicate_sets) - set(domain.attributes)
         if unknown:
-            raise KeyError(f"unknown attributes: {sorted(unknown)}")
+            raise SchemaMismatchError(
+                f"unknown attributes {sorted(unknown)}; the domain has "
+                f"{list(domain.attributes)}"
+            )
         self.domain = domain
         self.predicate_sets = {
-            attr: list(predicate_sets.get(attr, [TruePredicate()]))
+            attr: _as_predicate_list(predicate_sets.get(attr, [TruePredicate()]))
             for attr in domain.attributes
         }
         for attr, preds in self.predicate_sets.items():
@@ -117,6 +130,10 @@ class LogicalWorkload:
             self.products + other.products, self.weights + other.weights
         )
 
+    def to_workload_matrix(self) -> Matrix:
+        """ImpVec (the workload-object protocol used across the library)."""
+        return implicit_vectorize(self)
+
     def __repr__(self) -> str:
         return f"LogicalWorkload({len(self.products)} products, domain={self.domain})"
 
@@ -135,6 +152,44 @@ def implicit_vectorize(workload: LogicalWorkload) -> Matrix:
     if len(blocks) == 1:
         return blocks[0]
     return VStack(blocks)
+
+
+def as_workload_matrix(
+    workload, domain: Domain | None = None
+) -> tuple[Matrix, Domain | None]:
+    """Normalize any workload-like object to ``(implicit matrix, domain)``.
+
+    The accepted shapes form the library's workload protocol:
+
+    * a :class:`~repro.linalg.Matrix` — already physical, passed through;
+    * a :class:`LogicalWorkload` — vectorized via ImpVec, contributing its
+      own relational domain unless the caller overrides it;
+    * any object with a ``to_workload_matrix()`` method (compiled query
+      plans from :mod:`repro.api`, logical workloads), whose optional
+      ``domain`` attribute is used the same way.
+
+    Every consumer of workloads — :meth:`repro.core.HDMM.fit`, the query
+    service, the fingerprint scheme — routes through this, so a compiled
+    declarative plan is accepted anywhere a raw matrix is.
+    """
+    if isinstance(workload, Matrix):
+        return workload, domain
+    if isinstance(workload, LogicalWorkload):
+        return implicit_vectorize(workload), domain or workload.domain
+    to_matrix = getattr(workload, "to_workload_matrix", None)
+    if to_matrix is not None:
+        own = getattr(workload, "domain", None)
+        matrix = to_matrix()
+        if not isinstance(matrix, Matrix):
+            raise TypeError(
+                f"{type(workload).__name__}.to_workload_matrix() returned "
+                f"{type(matrix).__name__}, expected a Matrix"
+            )
+        return matrix, domain or (own if isinstance(own, Domain) else None)
+    raise TypeError(
+        f"expected a Matrix, LogicalWorkload, or an object with "
+        f"to_workload_matrix(); got {type(workload).__name__}"
+    )
 
 
 def union_kron(terms: Sequence[tuple[float, Sequence[Matrix]]]) -> Matrix:

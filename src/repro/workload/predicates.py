@@ -27,6 +27,10 @@ class Predicate:
     """A boolean condition over a single attribute's domain.
 
     Subclasses implement ``mask(n)`` returning the length-n 0/1 indicator.
+    Predicates form a boolean algebra over one attribute: ``p & q`` is the
+    conjunction, ``p | q`` the disjunction, and ``~p`` the complement —
+    each still a single-attribute predicate, so composites vectorize to
+    indicator rows exactly like the primitives (Definition 4).
     """
 
     def mask(self, n: int) -> np.ndarray:
@@ -34,6 +38,15 @@ class Predicate:
 
     def __call__(self, value: int, n: int) -> bool:
         return bool(self.mask(n)[value])
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
 
 
 class TruePredicate(Predicate):
@@ -102,6 +115,60 @@ class Range(Predicate):
         return f"in [{self.lo}, {self.hi}]"
 
 
+class Not(Predicate):
+    """The complement of a predicate (e.g. every race *except* one).
+
+    Negation keeps the indicator semantics: the mask is ``1 - mask(base)``
+    clipped to {0, 1}, so a negated predicate is still a counting query
+    over the attribute's domain.
+    """
+
+    def __init__(self, base: Predicate):
+        self.base = base
+
+    def mask(self, n: int) -> np.ndarray:
+        return 1.0 - np.clip(self.base.mask(n), 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"not ({self.base!r})"
+
+
+class And(Predicate):
+    """Conjunction of predicates on the *same* attribute (mask product)."""
+
+    def __init__(self, *terms: Predicate):
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise ValueError("And requires at least one predicate")
+
+    def mask(self, n: int) -> np.ndarray:
+        out = np.ones(n)
+        for p in self.terms:
+            out *= np.clip(p.mask(n), 0.0, 1.0)
+        return out
+
+    def __repr__(self) -> str:
+        return " and ".join(f"({p!r})" for p in self.terms)
+
+
+class Or(Predicate):
+    """Disjunction of predicates on the *same* attribute (mask maximum)."""
+
+    def __init__(self, *terms: Predicate):
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise ValueError("Or requires at least one predicate")
+
+    def mask(self, n: int) -> np.ndarray:
+        out = np.zeros(n)
+        for p in self.terms:
+            out = np.maximum(out, np.clip(p.mask(n), 0.0, 1.0))
+        return out
+
+    def __repr__(self) -> str:
+        return " or ".join(f"({p!r})" for p in self.terms)
+
+
 class Lambda(Predicate):
     """An arbitrary boolean function of the (integer-coded) value."""
 
@@ -142,6 +209,12 @@ def vectorize_set(predicates: Iterable[Predicate], n: int) -> Matrix:
         isinstance(p, Range) and p.lo == 0 and p.hi == i for i, p in enumerate(preds)
     ):
         return Prefix(n)
+    if len(preds) == 1 and np.all(preds[0].mask(n) == 1.0):
+        # A single predicate covering the whole domain (e.g. a range
+        # [0, n-1]) is semantically the Total predicate set.  Checked
+        # after the Identity/Prefix recognitions so a size-1 attribute's
+        # Identity set keeps its historical vectorized form.
+        return Ones(1, n)
     return Dense(np.stack([vectorize(p, n) for p in preds]))
 
 

@@ -86,3 +86,45 @@ class TestVectorize:
 
         M = vectorize_set(all_range_predicates(4), 4)
         assert np.allclose(M.dense(), AllRange(4).dense())
+
+
+class TestBooleanAlgebra:
+    """The predicate combinators behind the declarative expression API."""
+
+    def test_not_complements_mask(self):
+        from repro.workload.predicates import Not
+
+        assert np.allclose((~Equals(1)).mask(4), [1, 0, 1, 1])
+        assert isinstance(~Equals(1), Not)
+
+    def test_double_negation_mask(self):
+        assert np.allclose((~~Range(1, 2)).mask(4), Range(1, 2).mask(4))
+
+    def test_and_is_mask_product(self):
+        p = Range(0, 2) & Range(2, 3)
+        assert np.allclose(p.mask(4), [0, 0, 1, 0])
+
+    def test_or_is_mask_maximum(self):
+        p = Equals(0) | Range(2, 3)
+        assert np.allclose(p.mask(4), [1, 0, 1, 1])
+
+    def test_compound_vectorizes_like_primitive(self):
+        p = ~(Equals(0) | Equals(3))
+        assert np.allclose(vectorize(p, 4), [0, 1, 1, 0])
+
+    def test_empty_combinators_rejected(self):
+        from repro.workload.predicates import And, Or
+
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()
+
+    def test_full_domain_single_predicate_collapses_to_total(self):
+        """A lone predicate covering the whole domain is the Total set."""
+        M = vectorize_set([Range(0, 4)], 5)
+        assert isinstance(M, Ones) and M.shape == (1, 5)
+        M2 = vectorize_set([InSet(range(5))], 5)
+        assert isinstance(M2, Ones)
+        # A partial range still vectorizes densely.
+        assert not isinstance(vectorize_set([Range(0, 3)], 5), Ones)

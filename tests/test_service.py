@@ -721,3 +721,159 @@ class TestValidateEpsilonCentralized:
             validate_epsilon([])
         with pytest.raises(ValueError):
             validate_epsilon("abc")
+
+
+class TestQueryDelegation:
+    """Satellite: single-query query() delegates to answer()'s
+    miss-batching path, so a cold single query reaches the
+    direct-measure fast path (and its support-keyed cache)."""
+
+    def _service(self, tmp_path):
+        acct = PrivacyAccountant(default_cap=50.0)
+        svc = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=acct,
+            restarts=1,
+            rng=0,
+        )
+        return svc, acct
+
+    def test_cold_single_query_takes_direct_path(self, tmp_path, monkeypatch):
+        svc, acct = self._service(tmp_path)
+        x = np.random.default_rng(1).poisson(40, 16).astype(float)
+        svc.add_dataset("d", x)
+        monkeypatch.setattr(
+            HDMM,
+            "fit",
+            lambda *a, **k: pytest.fail("single-query miss ran a fit"),
+        )
+        q = np.zeros(16)
+        q[:3] = 1.0
+        ans = svc.query("d", q, eps=0.5, rng=3)
+        assert not ans.hit
+        assert ans.key.startswith("direct:")
+        assert acct.spent("d") == pytest.approx(0.5)
+        # The measurement is cached: the identical query now hits free.
+        again = svc.query("d", q)
+        assert again.hit and np.array_equal(again.values, ans.values)
+        assert acct.spent("d") == pytest.approx(0.5)
+
+    def test_query_without_eps_still_raises_on_miss(self, tmp_path):
+        svc, acct = self._service(tmp_path)
+        svc.add_dataset("d", np.ones(8))
+        with pytest.raises(QueryMiss):
+            svc.query("d", np.ones(8))
+        assert acct.spent("d") == 0.0
+
+    def test_query_matches_single_query_answer(self, tmp_path):
+        svc, _ = self._service(tmp_path)
+        x = np.arange(12, dtype=float)
+        svc.add_dataset("d", x)
+        q = np.zeros(12)
+        q[4:8] = 1.0
+        via_query = svc.query("d", q, eps=1.0, rng=7)
+        svc2, _ = self._service(tmp_path)
+        svc2.add_dataset("d", x)
+        via_answer = svc2.answer("d", [q], eps=1.0, rng=7).answers[0]
+        assert np.array_equal(via_query.values, via_answer.values)
+
+
+class TestWarmBeforeDirect:
+    """Routing order: a warm strategy for the exact miss union beats the
+    direct fast path (more accurate, never fits)."""
+
+    def test_prepared_union_serves_small_miss_warm(self, tmp_path, monkeypatch):
+        svc = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=PrivacyAccountant(default_cap=50.0),
+            restarts=1,
+            rng=0,
+        )
+        W = Prefix(8)  # 8 rows — well under direct_miss_threshold
+        key, _, _, _ = svc.prepare(W)
+        x = np.random.default_rng(2).poisson(30, 8).astype(float)
+        svc.add_dataset("d", x)
+        monkeypatch.setattr(
+            HDMM,
+            "fit",
+            lambda *a, **k: pytest.fail("warm strategy should never refit"),
+        )
+        batch = svc.answer("d", [W], eps=0.8, rng=5)
+        assert batch.misses == 1
+        assert batch.answers[0].key == key  # fitted strategy, not direct:
+        assert batch.charged == pytest.approx(0.8)
+
+    def test_unprepared_small_miss_still_goes_direct(self, tmp_path):
+        svc = QueryService(
+            registry=StrategyRegistry(tmp_path / "reg"),
+            accountant=PrivacyAccountant(default_cap=50.0),
+            restarts=1,
+            rng=0,
+        )
+        svc.add_dataset("d", np.ones(8))
+        q = np.zeros(8)
+        q[0] = 1.0
+        batch = svc.answer("d", [q], eps=0.5, rng=1)
+        assert batch.answers[0].key.startswith("direct:")
+
+
+class TestSchemaMismatchErrors:
+    """Satellite: shape mismatches raise SchemaMismatchError naming the
+    dataset and the expected domain."""
+
+    def test_measure_names_dataset_and_lengths(self, tmp_path):
+        from repro.service import SchemaMismatchError
+
+        svc = QueryService(registry=None, accountant=None, restarts=1, rng=0)
+        svc.add_dataset("adult", np.ones(16))
+        with pytest.raises(SchemaMismatchError, match="'adult'.*16"):
+            svc.measure("adult", workload.prefix_1d(8), eps=1.0)
+
+    def test_answer_rejects_mismatched_query_width(self):
+        from repro.service import SchemaMismatchError
+
+        svc = QueryService(registry=None, accountant=None, restarts=1, rng=0)
+        svc.add_dataset("adult", np.ones(16))
+        with pytest.raises(SchemaMismatchError, match="'adult'.*16"):
+            svc.answer("adult", [np.ones(8)], eps=1.0)
+
+    def test_measure_with_logical_domain_names_attributes(self):
+        from repro.service import SchemaMismatchError
+        from repro.workload.predicates import TruePredicate
+
+        svc = QueryService(registry=None, accountant=None, restarts=1, rng=0)
+        svc.add_dataset("adult", np.ones(5))
+        dom = Domain(["age", "sex"], [3, 2])
+        lw = LogicalWorkload([Product(dom, {"age": [TruePredicate()]})])
+        with pytest.raises(SchemaMismatchError, match="age"):
+            svc.measure("adult", lw, eps=1.0)
+
+    def test_is_also_a_value_error(self):
+        from repro.domain import SchemaMismatchError
+
+        assert issubclass(SchemaMismatchError, ValueError)
+        assert issubclass(SchemaMismatchError, KeyError)
+
+    def test_domain_lookup_names_attribute(self):
+        from repro.domain import SchemaMismatchError
+
+        dom = Domain(["age", "sex"], [3, 2])
+        with pytest.raises(SchemaMismatchError, match="ghost.*age"):
+            dom.index("ghost")
+        with pytest.raises(SchemaMismatchError, match="ghost"):
+            dom.project(["ghost"])
+
+    def test_registryless_direct_path_skips_fingerprinting(self, monkeypatch):
+        """With no registry and an empty memo, warm is impossible — the
+        direct fast path must not pay the miss-union fingerprint."""
+        svc = QueryService(registry=None, accountant=None, restarts=1, rng=0)
+        svc.add_dataset("d", np.arange(16, dtype=float))
+        monkeypatch.setattr(
+            QueryService,
+            "probe",
+            lambda *a, **k: pytest.fail("probed with warm provably impossible"),
+        )
+        q = np.zeros(16)
+        q[3] = 1.0
+        batch = svc.answer("d", [q], eps=0.5, rng=1)
+        assert batch.answers[0].key.startswith("direct:")
