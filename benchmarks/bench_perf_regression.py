@@ -45,6 +45,13 @@ regress against it:
   preconditioning and recycling, the LSMR cross-check deviation, and the
   ``exact=True`` same-seed determinism contract for recycled solves.
 
+* **durability** (PR 6) — the crash-consistency tax: per-debit overhead
+  of the fsync'd write-ahead ε-ledger vs the in-memory accountant,
+  replay rate of :meth:`PrivacyAccountant.recover` (with a torn-tail
+  truncation check), and the share of a warm registry load now spent on
+  the SHA-256 checksum verify.  The smoke test replays a ledger on every
+  tier-1 run so recovery cannot silently rot.
+
 Run directly for the paper-style report; ``--quick`` shrinks restarts and
 repetitions for smoke runs (and regresses the serving speedup against the
 previously recorded ``BENCH_PERF.json``); ``--json`` controls the output
@@ -532,6 +539,90 @@ def bench_service(n: int = 64, restarts: int = 5, query_reps: int = 50) -> dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_durability(
+    n_debits: int = 500, n: int = 32, restarts: int = 2, reps: int = 5
+) -> dict:
+    """Durability tax: WAL debit overhead, recovery replay, checksum share."""
+    import shutil
+    import tempfile
+
+    from repro.service import PrivacyAccountant, QueryService, StrategyRegistry
+    from repro.service.registry import _file_sha256
+    from repro.workload import range_total_union
+
+    root = tempfile.mkdtemp(prefix="repro-bench-durability-")
+    try:
+        # Per-debit overhead: identical charge traffic against the plain
+        # in-memory accountant and the WAL-backed one (every debit locks,
+        # replays the tail, appends, and fsyncs before returning).
+        amt = 1.0 / n_debits
+        plain = PrivacyAccountant()
+        plain.register("bench", 10.0)
+        with Timer() as t_plain:
+            for _ in range(n_debits):
+                plain.charge("bench", amt)
+        wal_path = os.path.join(root, "eps.wal")
+        wal = PrivacyAccountant(wal_path=wal_path)
+        wal.register("bench", 10.0)
+        with Timer() as t_wal:
+            for _ in range(n_debits):
+                wal.charge("bench", amt)
+
+        # Recovery replay rate, and the exact-state contract: the
+        # replayed accountant must reproduce the writer's float sum and
+        # ledger bit-for-bit.
+        with Timer() as t_recover:
+            recovered = PrivacyAccountant.recover(wal_path)
+        state_exact = bool(
+            recovered.spent("bench") == wal.spent("bench")
+            and len(recovered.ledger) == len(wal.ledger)
+        )
+        with open(wal_path, "ab") as f:  # a crashed writer's torn tail
+            f.write(b'{"kind":"debit","dataset":"bench","epsilon":9')
+        torn_ok = bool(
+            PrivacyAccountant.recover(wal_path).spent("bench")
+            == wal.spent("bench")
+        )
+
+        # Warm registry load with the per-entry SHA-256 verify, and the
+        # checksum's share of it.
+        W = range_total_union(n)
+        svc = QueryService(
+            registry=StrategyRegistry(root), restarts=restarts, rng=0
+        )
+        key, _, _, from_registry = svc.prepare(W)
+        assert not from_registry
+        t_warm = min(
+            _timed(lambda: StrategyRegistry(root).load(key))
+            for _ in range(reps)
+        )
+        npz = os.path.join(root, f"{key}.npz")
+        t_sum = min(_timed(lambda: _file_sha256(npz)) for _ in range(reps))
+
+        return {
+            "n_debits": n_debits,
+            "plain_debit_us": round(t_plain.elapsed / n_debits * 1e6, 2),
+            "wal_debit_us": round(t_wal.elapsed / n_debits * 1e6, 2),
+            "wal_overhead_us_per_debit": round(
+                (t_wal.elapsed - t_plain.elapsed) / n_debits * 1e6, 2
+            ),
+            "recovery_records": len(recovered.ledger) + 1,  # + register
+            "recovery_seconds": round(t_recover.elapsed, 6),
+            "recovery_records_per_sec": round(
+                (len(recovered.ledger) + 1) / t_recover.elapsed
+            ),
+            "recovery_state_exact": state_exact,
+            "torn_tail_truncated": torn_ok,
+            "workload": f"range-total-union-{n}",
+            "npz_bytes": os.path.getsize(npz),
+            "warm_load_ms": round(t_warm * 1e3, 4),
+            "checksum_ms": round(t_sum * 1e3, 4),
+            "checksum_fraction_of_warm_load": round(t_sum / t_warm, 3),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> dict:
     if restarts is None:
         restarts = 2 if quick else 25
@@ -555,6 +646,11 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
         "api_planner": bench_api_planner(
             n_exprs=96 if quick else 512,
             restarts=1 if quick else 2),
+        "durability": bench_durability(
+            n_debits=50 if quick else 500,
+            n=16 if quick else 32,
+            restarts=1 if quick else 2,
+            reps=3 if quick else 5),
     }
     return results
 
@@ -660,6 +756,24 @@ def main() -> None:
             f"free-hit ratio {ap['free_hit_ratio_after_warmup']:.2f}",
         ],
     ]
+    d = results["durability"]
+    rows += [
+        [
+            "durability WAL debit",
+            f"{d['wal_debit_us']:.0f}us",
+            f"+{d['wal_overhead_us_per_debit']:.0f}us vs in-memory",
+        ],
+        [
+            f"durability recovery ({d['recovery_records']} records)",
+            f"{d['recovery_seconds'] * 1e3:.1f}ms",
+            f"{d['recovery_records_per_sec']:.0f} records/s",
+        ],
+        [
+            "durability warm load + verify",
+            f"{d['warm_load_ms']:.2f}ms",
+            f"checksum {d['checksum_fraction_of_warm_load']:.0%} of load",
+        ],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -682,6 +796,10 @@ def main() -> None:
     print(
         f"api planner ε estimate matches accountant debit: "
         f"{ap['plan_matches_debit']}"
+    )
+    print(
+        "durability recovery state exact / torn tail truncated: "
+        f"{d['recovery_state_exact']} / {d['torn_tail_truncated']}"
     )
     regression = check_serving_regression(results, args.json)
     if regression:
@@ -779,6 +897,25 @@ def test_bench_serving_smoke():
         recorded = json.load(f)
     assert recorded["serving"]["speedup_vs_seed_loop"] >= 3.0
     assert recorded["serving"]["answers_bit_identical"]
+
+
+def test_bench_durability_smoke():
+    """Quick durability case: every tier-1 run replays a real WAL — the
+    recovered accountant must reproduce the writer's exact state, torn
+    tails must truncate, and the checksum verify must stay a fraction of
+    the warm load it protects."""
+    d = bench_durability(n_debits=25, n=16, restarts=1, reps=2)
+    assert d["recovery_state_exact"]
+    assert d["torn_tail_truncated"]
+    assert d["checksum_fraction_of_warm_load"] < 1.0
+    # The committed trajectory must already carry a durability record so
+    # this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    rec = recorded["durability"]
+    assert rec["recovery_state_exact"]
+    assert rec["torn_tail_truncated"]
+    assert rec["n_debits"] >= 500
 
 
 if __name__ == "__main__":

@@ -57,7 +57,11 @@ class Answer:
     rode in (0 for a free hit; the group's single joint debit is
     reported on each of its members, not split).  ``span_projected``
     marks zero-budget answers served by projecting through a cached
-    reconstruction's measured span.
+    reconstruction's measured span.  ``remaining`` is the dataset's
+    budget left after this batch settled (``inf`` with no accountant) —
+    the actionable half of the provenance: a caller that sees it shrink
+    toward 0 can stop issuing measured queries *before* the next one is
+    refused with a :class:`~repro.service.BudgetExceededError`.
     """
 
     expr: QueryExpr
@@ -66,6 +70,7 @@ class Answer:
     key: str | None
     epsilon: float
     span_projected: bool
+    remaining: float = float("inf")
 
     @property
     def value(self) -> float:
@@ -152,6 +157,8 @@ class Dataset:
             rng=rng,
             **run_kwargs,
         )
+        acct = self.session.service.accountant
+        remaining = float("inf") if acct is None else acct.remaining(self.name)
         out: list[Answer] = []
         for orig, pos in enumerate(batch.index_map):
             qa = result.answers[pos]
@@ -163,6 +170,7 @@ class Dataset:
                     key=qa.key,
                     epsilon=0.0 if qa.hit else result.charged,
                     span_projected=bool(qa.hit),
+                    remaining=remaining,
                 )
             )
         return out

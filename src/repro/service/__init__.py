@@ -11,13 +11,23 @@ facts into a service:
   of fitted strategies, persisted with their solver factorizations;
 * :mod:`~repro.service.accountant` — per-dataset epsilon ledger
   (sequential + parallel composition, hard caps, raises before noise);
+* :mod:`~repro.service.ledger` — the accountant's durable half: an
+  append-only checksummed write-ahead ledger, fsync'd before noise is
+  drawn, replayed (torn tail truncated) by
+  :meth:`PrivacyAccountant.recover`, with an ``flock``-serialized
+  cross-process compare-and-debit;
 * :mod:`~repro.service.engine` — the :class:`QueryService` front end:
   free answers from cached reconstructions, batched accounted
-  measurement for everything else.
+  measurement for everything else;
+* :mod:`~repro.service.faults` — deterministic fault injection
+  (kill-points, bit flips, transient errnos) at every write/fsync/
+  replace/load site the two stores perform, driven by the crash matrix
+  in ``tests/test_faults.py``.
 """
 
 from ..domain import SchemaMismatchError
 from .accountant import BudgetExceededError, LedgerEntry, PrivacyAccountant
+from .ledger import WriteAheadLedger
 from .engine import (
     BatchResult,
     MissRoute,
@@ -29,7 +39,7 @@ from .engine import (
     in_measured_span,
 )
 from .fingerprint import canonical_config, config_digest, workload_fingerprint
-from .registry import StrategyRecord, StrategyRegistry
+from .registry import RegistryCorruptionError, StrategyRecord, StrategyRegistry
 
 __all__ = [
     "BatchResult",
@@ -41,10 +51,12 @@ __all__ = [
     "QueryMiss",
     "QueryService",
     "Reconstruction",
+    "RegistryCorruptionError",
     "SchemaMismatchError",
     "ServeResult",
     "StrategyRecord",
     "StrategyRegistry",
+    "WriteAheadLedger",
     "canonical_config",
     "config_digest",
     "in_measured_span",

@@ -24,15 +24,33 @@ Two composition rules are supported:
 Everything downstream of a measurement — reconstruction, workload
 answering, ad-hoc queries against a cached x̂ — is post-processing and
 never touches the accountant.
+
+Durability
+----------
+With ``wal_path=`` (or via :meth:`PrivacyAccountant.recover`), the
+accountant is backed by a :class:`~repro.service.ledger.WriteAheadLedger`:
+every register/debit is checksummed and **fsync'd before the method
+returns** — i.e. before the caller draws any noise — so no crash can
+leave released noise unaccounted.  On startup, committed records are
+replayed (a torn tail from a crashed writer is truncated) and the
+in-memory state is exactly the pre-crash committed prefix.  Debits run
+as a cross-process **compare-and-debit**: under the ledger's file lock,
+records appended by other processes are replayed first, then the cap is
+checked, then the new record is appended — two processes sharing a
+ledger path can never jointly overdraw a cap.  All public methods are
+additionally thread-safe behind one re-entrant lock.
 """
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.solvers import validate_epsilon
+from .ledger import WriteAheadLedger
 
 __all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyAccountant"]
 
@@ -45,8 +63,32 @@ class BudgetExceededError(RuntimeError):
     """A debit would push a dataset past its epsilon cap.
 
     Raised *before* any measurement noise is drawn — the mechanism that
-    attempted the spend never touched the data.
+    attempted the spend never touched the data.  Carries the full budget
+    picture as attributes (``dataset``, ``cap``, ``spent``, ``requested``,
+    ``remaining``, ``composition``) so callers can act on the remaining
+    budget instead of parsing the message.
     """
+
+    def __init__(
+        self,
+        dataset: str,
+        cap: float,
+        spent: float,
+        requested: float,
+        composition: str = "sequential",
+    ):
+        self.dataset = dataset
+        self.cap = float(cap)
+        self.spent = float(spent)
+        self.requested = float(requested)
+        self.remaining = max(0.0, self.cap - self.spent)
+        self.composition = composition
+        super().__init__(
+            f"privacy budget exceeded for dataset {dataset!r}: requested "
+            f"debit {self.requested:g} ({composition}) but only "
+            f"{self.remaining:g} of cap {self.cap:g} remains "
+            f"(spent {self.spent:g})"
+        )
 
 
 @dataclass
@@ -69,36 +111,128 @@ class PrivacyAccountant:
         the default ``None``, every dataset must be registered explicitly
         — unknown datasets raise ``KeyError`` rather than silently
         spending an unbounded budget.
+    wal_path:
+        Path of the write-ahead ledger file backing this accountant.
+        ``None`` (default) keeps state in memory only — a crash forgets
+        everything, acceptable for tests and synthetic benchmarks, never
+        for real data.  An existing file is recovered on construction:
+        committed records are replayed and a torn tail is truncated.
     """
 
-    def __init__(self, default_cap: float | None = None):
+    def __init__(
+        self, default_cap: float | None = None, wal_path: str | None = None
+    ):
         if default_cap is not None:
             default_cap = float(validate_epsilon(default_cap, "default_cap"))
         self.default_cap = default_cap
         self._caps: dict[str, float] = {}
         self._spent: dict[str, float] = {}
         self.ledger: list[LedgerEntry] = []
+        self._lock = threading.RLock()
+        self._wal = None if wal_path is None else WriteAheadLedger(wal_path)
+        if self._wal is not None:
+            with self._wal.locked():
+                self._apply_records(self._wal.read_new())
+                self._wal.truncate_torn_tail()
+
+    @classmethod
+    def recover(
+        cls, wal_path: str, default_cap: float | None = None
+    ) -> "PrivacyAccountant":
+        """Rebuild an accountant from its write-ahead ledger.
+
+        Replays the committed record prefix (register records restore
+        caps, debit records restore per-dataset spend and the in-memory
+        :attr:`ledger`), truncating any torn tail a crashed writer left.
+        The result is exactly the state every pre-crash ``charge`` call
+        had durably committed — never less, so no released noise is ever
+        unaccounted.
+        """
+        return cls(default_cap=default_cap, wal_path=wal_path)
+
+    @property
+    def wal_path(self) -> str | None:
+        """Path of the backing write-ahead ledger (None = memory only)."""
+        return None if self._wal is None else self._wal.path
+
+    # -- WAL plumbing ------------------------------------------------------
+    def _apply_records(self, records) -> None:
+        """Fold replayed WAL records into memory (no cap re-checking: every
+        committed debit passed its check when written, and replaying it
+        conservatively — even past a since-shrunk cap — can only keep the
+        accounted spend at or above the released noise)."""
+        for r in records:
+            kind = r.get("kind")
+            if kind == "register":
+                self._caps[r["dataset"]] = float(r["cap"])
+                self._spent.setdefault(r["dataset"], 0.0)
+            elif kind == "debit":
+                ds = r["dataset"]
+                if ds not in self._caps and self.default_cap is not None:
+                    self._caps[ds] = self.default_cap
+                self._spent[ds] = self._spent.get(ds, 0.0) + float(r["epsilon"])
+                self.ledger.append(
+                    LedgerEntry(
+                        ds,
+                        float(r["epsilon"]),
+                        r.get("composition", "sequential"),
+                        r.get("stage", ""),
+                    )
+                )
+
+    @contextlib.contextmanager
+    def _transact(self):
+        """One atomic read-check-append cycle: thread lock, then (when a
+        WAL is attached) the cross-process file lock with other writers'
+        tail replayed before the caller's check runs."""
+        with self._lock:
+            if self._wal is None:
+                yield
+            else:
+                with self._wal.locked():
+                    self._apply_records(self._wal.read_new())
+                    yield
+
+    def sync(self) -> None:
+        """Fold in records other processes appended since the last look.
+
+        Lock-free read: a record mid-write by a live writer simply fails
+        its checksum and is picked up on the next call."""
+        with self._lock:
+            if self._wal is not None:
+                self._apply_records(self._wal.read_new())
 
     # -- registration ------------------------------------------------------
-    def register(self, dataset: str, cap: float) -> None:
-        """Set (or raise) the epsilon cap of a dataset.
-
-        A cap below what is already spent is rejected — budgets may be
-        extended by the data owner but never retroactively shrunk under
-        the amount consumed.
-        """
-        cap = float(validate_epsilon(cap, "cap"))
+    def _register_locked(self, dataset: str, cap: float, wal: bool) -> None:
+        """Registration core; caller holds whatever locks apply."""
         spent = self._spent.get(dataset, 0.0)
         if cap < spent:
             raise ValueError(
                 f"cap {cap} for dataset {dataset!r} is below the "
                 f"already-spent budget {spent}"
             )
+        if wal and self._wal is not None and self._caps.get(dataset) != cap:
+            self._wal.append(
+                {"v": 1, "kind": "register", "dataset": dataset, "cap": cap}
+            )
         self._caps[dataset] = cap
         self._spent.setdefault(dataset, 0.0)
 
+    def register(self, dataset: str, cap: float) -> None:
+        """Set (or raise) the epsilon cap of a dataset.
+
+        A cap below what is already spent is rejected — budgets may be
+        extended by the data owner but never retroactively shrunk under
+        the amount consumed.  With a WAL attached, the cap is durably
+        recorded before it takes effect.
+        """
+        cap = float(validate_epsilon(cap, "cap"))
+        with self._transact():
+            self._register_locked(dataset, cap, wal=True)
+
     def datasets(self) -> list[str]:
-        return sorted(self._caps)
+        with self._lock:
+            return sorted(self._caps)
 
     def _require(self, dataset: str) -> float:
         if dataset not in self._caps:
@@ -107,48 +241,82 @@ class PrivacyAccountant:
                     f"dataset {dataset!r} is not registered with the "
                     "accountant (and no default_cap is set)"
                 )
-            self.register(dataset, self.default_cap)
+            # default_cap auto-registration is not WAL'd: replaying the
+            # ledger under the same default_cap reproduces it, and never
+            # writing here keeps WAL appends under the debit lock only.
+            self._register_locked(dataset, self.default_cap, wal=False)
         return self._caps[dataset]
 
     # -- inspection --------------------------------------------------------
     def cap(self, dataset: str) -> float:
-        return self._require(dataset)
+        with self._lock:
+            return self._require(dataset)
 
     def spent(self, dataset: str) -> float:
-        self._require(dataset)
-        return self._spent[dataset]
+        self.sync()
+        with self._lock:
+            self._require(dataset)
+            return self._spent.get(dataset, 0.0)
 
     def remaining(self, dataset: str) -> float:
-        return max(0.0, self.cap(dataset) - self.spent(dataset))
+        with self._lock:
+            return max(0.0, self.cap(dataset) - self.spent(dataset))
 
     # -- debits ------------------------------------------------------------
     def check(self, dataset: str, eps) -> float:
         """Validate a prospective sequential debit without recording it.
 
         Returns the total that :meth:`charge` would debit; raises
-        :class:`BudgetExceededError` if it does not fit.
+        :class:`BudgetExceededError` if it does not fit.  Advisory under
+        concurrency: only :meth:`charge` holds the check and the debit
+        under one lock.
         """
         total = float(np.sum(validate_epsilon(eps)))
+        self.sync()
+        with self._lock:
+            self._check(dataset, total, "sequential")
+        return total
+
+    def _check(self, dataset: str, amount: float, composition: str) -> None:
         cap = self._require(dataset)
         spent = self._spent[dataset]
-        if spent + total > cap * (1 + _CAP_SLACK):
-            raise BudgetExceededError(
-                f"privacy budget exceeded for dataset {dataset!r}: "
-                f"spent {spent} + requested {total} > cap {cap}"
-            )
-        return total
+        if spent + amount > cap * (1 + _CAP_SLACK):
+            raise BudgetExceededError(dataset, cap, spent, amount, composition)
+
+    def _debit(
+        self, dataset: str, amount: float, composition: str, stage: str
+    ) -> float:
+        """The compare-and-debit core: check + WAL append + apply, atomic
+        across threads and (with a WAL) across processes.  The WAL record
+        is fsync'd before the in-memory state moves, so the method returns
+        only once the debit is durable — the caller draws noise after."""
+        with self._transact():
+            self._check(dataset, amount, composition)
+            if self._wal is not None:
+                self._wal.append(
+                    {
+                        "v": 1,
+                        "kind": "debit",
+                        "dataset": dataset,
+                        "epsilon": amount,
+                        "composition": composition,
+                        "stage": stage,
+                    }
+                )
+            self._spent[dataset] += amount
+            self.ledger.append(LedgerEntry(dataset, amount, composition, stage))
+        return amount
 
     def charge(self, dataset: str, eps, stage: str = "") -> float:
         """Debit under sequential composition: the *sum* of the budgets.
 
         ``eps`` may be a scalar or an array of per-mechanism budgets run
         on the same data (an ε-sweep debits its grid total).  Returns the
-        amount debited.
+        amount debited, which is durably committed (WAL accountants)
+        before this method returns.
         """
-        total = self.check(dataset, eps)
-        self._spent[dataset] += total
-        self.ledger.append(LedgerEntry(dataset, total, "sequential", stage))
-        return total
+        total = float(np.sum(validate_epsilon(eps)))
+        return self._debit(dataset, total, "sequential", stage)
 
     def charge_parallel(self, dataset: str, eps, stage: str = "") -> float:
         """Debit under parallel composition: the *maximum* branch budget.
@@ -158,19 +326,13 @@ class PrivacyAccountant:
         release is max(ε)-DP.  Returns the amount debited.
         """
         branch_max = float(np.max(validate_epsilon(eps)))
-        cap = self._require(dataset)
-        spent = self._spent[dataset]
-        if spent + branch_max > cap * (1 + _CAP_SLACK):
-            raise BudgetExceededError(
-                f"privacy budget exceeded for dataset {dataset!r}: "
-                f"spent {spent} + requested {branch_max} (parallel) > cap {cap}"
-            )
-        self._spent[dataset] += branch_max
-        self.ledger.append(LedgerEntry(dataset, branch_max, "parallel", stage))
-        return branch_max
+        return self._debit(dataset, branch_max, "parallel", stage)
 
     def __repr__(self) -> str:
-        parts = ", ".join(
-            f"{d}: {self._spent[d]:g}/{self._caps[d]:g}" for d in self.datasets()
-        )
-        return f"PrivacyAccountant({parts or 'no datasets'})"
+        with self._lock:
+            parts = ", ".join(
+                f"{d}: {self._spent[d]:g}/{self._caps[d]:g}"
+                for d in self.datasets()
+            )
+        wal = "" if self._wal is None else f", wal={self._wal.path!r}"
+        return f"PrivacyAccountant({parts or 'no datasets'}{wal})"

@@ -41,6 +41,7 @@ measurement.  The serving rules:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -316,7 +317,7 @@ class QueryService:
 
     def __init__(
         self,
-        registry: StrategyRegistry | None = None,
+        registry: StrategyRegistry | str | os.PathLike | None = None,
         accountant: PrivacyAccountant | None = None,
         restarts: int = 25,
         rng: np.random.Generator | int | None = None,
@@ -325,12 +326,38 @@ class QueryService:
         fit_kwargs: dict | None = None,
         direct_miss_threshold: int = 32,
     ):
+        # Every constructor argument is validated here, with the failure
+        # naming the argument — a service wired up wrong must refuse to
+        # start, not fail deep inside its first request (possibly after
+        # budget was spent).  A path-like ``registry`` is convenience for
+        # ``StrategyRegistry(path)``; the construction itself verifies the
+        # directory exists (or is creatable) and is writable.
+        if isinstance(registry, (str, os.PathLike)):
+            registry = StrategyRegistry(registry)
+        elif registry is not None and not isinstance(registry, StrategyRegistry):
+            raise TypeError(
+                "registry must be a StrategyRegistry, a directory path, or "
+                f"None, got {type(registry).__name__}"
+            )
+        if accountant is not None and not isinstance(
+            accountant, PrivacyAccountant
+        ):
+            raise TypeError(
+                "accountant must be a PrivacyAccountant or None, got "
+                f"{type(accountant).__name__} (to disable accounting — "
+                "synthetic benchmarks only — pass None explicitly)"
+            )
         self.registry = registry
         self.accountant = accountant
-        self.restarts = restarts
+        self.restarts = validate_positive_int("restarts", restarts)
         self.rng = np.random.default_rng(rng)
         self.template = template
-        self.span_tol = float(span_tol)
+        span_tol = float(span_tol)
+        if not np.isfinite(span_tol) or span_tol <= 0:
+            raise ValueError(
+                f"span_tol must be a finite positive float, got {span_tol!r}"
+            )
+        self.span_tol = span_tol
         self.fit_kwargs = dict(fit_kwargs or {})
         if (
             isinstance(direct_miss_threshold, bool)
@@ -338,8 +365,9 @@ class QueryService:
             or direct_miss_threshold < 0
         ):
             raise ValueError(
-                "direct_miss_threshold must be a non-negative integer, "
-                f"got {direct_miss_threshold!r}"
+                "direct_miss_threshold must be a non-negative integer "
+                f"(0 disables the direct fast path), got "
+                f"{direct_miss_threshold!r}"
             )
         self.direct_miss_threshold = int(direct_miss_threshold)
         self._datasets: dict[str, _DatasetState] = {}
@@ -379,7 +407,10 @@ class QueryService:
         planner's view of the routing table: a non-``None`` strategy
         means the workload serves without a cold ``HDMM.fit``.  A
         registry hit is memoized, so probing is idempotent and cheap.
-        Never touches data or budget.
+        A persisted entry that fails its checksum is quarantined by the
+        registry and surfaces here as a plain miss — the request falls
+        through to a cold fit (which re-persists a good copy) instead of
+        crashing.  Never touches data or budget.
         """
         workload, domain = as_workload_matrix(workload, domain)
         if self.registry is not None:

@@ -1,0 +1,263 @@
+"""Deterministic fault injection for the durability subsystem.
+
+The write-ahead ledger (:mod:`~repro.service.ledger`) and the strategy
+registry (:mod:`~repro.service.registry`) make crash-consistency claims —
+no kill-point overdraws a budget, no torn write serves a corrupt
+strategy.  Claims like that are only as good as the tests that drive a
+fault through *every* write/fsync/replace/load site, so both modules
+route their filesystem effects through the named fault points defined
+here.  In production no injector is active and every hook is a single
+``None`` check.
+
+Under test, a :class:`FaultInjector` is armed with deterministic plans
+(no randomness, no clocks — the N-th operation at a site fires, every
+run) and installed with :meth:`FaultInjector.active`:
+
+* :meth:`~FaultInjector.crash` — the N-th hit of a site raises
+  :class:`SimulatedCrash`, which derives from ``BaseException`` so
+  ordinary ``except Exception`` cleanup cannot swallow the kill (a real
+  ``SIGKILL`` is not catchable either);
+* :meth:`~FaultInjector.fail` — K consecutive hits raise ``OSError``
+  with a chosen errno (``ENOSPC``, ``EINTR``, ...), exercising the
+  bounded-retry paths;
+* :meth:`~FaultInjector.flip_bit` — a byte-level corruption applied to
+  data flowing through the site (:func:`mangle`) or to the file just
+  written there (:func:`mangle_file`), exercising the checksum /
+  quarantine paths.
+
+Sites are plain strings (``"ledger.append.fsync"``,
+``"registry.npz.replace"``, ...); the full list lives in the modules
+that declare them.  :func:`retrying` is the production-side companion:
+bounded exponential-backoff retry around transient ``EINTR``/``EAGAIN``/
+``ENOSPC`` failures, with an injectable sleep so tests stay instant.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "RETRYABLE_ERRNOS",
+    "active_injector",
+    "check",
+    "mangle",
+    "mangle_file",
+    "retrying",
+]
+
+#: Transient errnos :func:`retrying` considers worth another attempt.
+#: ``ENOSPC`` is transient in the deployments this service targets
+#: (log rotation / compaction frees space); anything else is a real
+#: failure the caller must surface.
+RETRYABLE_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.ENOSPC})
+
+
+class SimulatedCrash(BaseException):
+    """An armed kill-point fired.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    recovery-oriented ``except Exception`` blocks in the code under test
+    cannot accidentally absorb the simulated kill — the process under a
+    real crash gets no chance to run cleanup either.
+    """
+
+    def __init__(self, site: str, op: int):
+        self.site = site
+        self.op = op
+        super().__init__(f"simulated crash at {site!r} (operation #{op})")
+
+
+@dataclass
+class _Plan:
+    kind: str  # "crash" | "error" | "flip"
+    after: int = 1  # fire on the after-th hit of the site (1-based)
+    times: int = 1  # "error": how many consecutive hits raise
+    err: int = errno.ENOSPC
+    byte: int = 0  # "flip": byte offset (negative = from the end)
+    bit: int = 0  # "flip": bit index within the byte
+    fired: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """A deterministic schedule of faults, keyed by site name.
+
+    Counters are per-site and start at 1 on the first hit; every plan
+    fires at an exact operation number, so a failing test replays
+    identically.  Thread-safe: the stress tests hammer one injector from
+    many threads.
+    """
+
+    _plans: dict[str, list[_Plan]] = field(default_factory=dict)
+    _counts: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Every fault fired, as ``(site, kind, op)`` — assert on it to prove
+    #: a fault actually exercised the path under test.
+    fired: list[tuple[str, str, int]] = field(default_factory=list)
+
+    # -- arming --------------------------------------------------------------
+    def crash(self, site: str, after: int = 1) -> "FaultInjector":
+        """Arm a kill-point: the ``after``-th hit of ``site`` raises
+        :class:`SimulatedCrash`."""
+        self._plans.setdefault(site, []).append(_Plan("crash", after=after))
+        return self
+
+    def fail(
+        self, site: str, err: int = errno.ENOSPC, times: int = 1, after: int = 1
+    ) -> "FaultInjector":
+        """Arm a transient failure: hits ``after .. after+times-1`` of
+        ``site`` raise ``OSError(err)``."""
+        self._plans.setdefault(site, []).append(
+            _Plan("error", after=after, times=times, err=err)
+        )
+        return self
+
+    def flip_bit(
+        self, site: str, byte: int = 0, bit: int = 0, after: int = 1
+    ) -> "FaultInjector":
+        """Arm a corruption: the ``after``-th mangle at ``site`` flips one
+        bit of the payload (``byte`` may be negative, counting from the
+        end)."""
+        self._plans.setdefault(site, []).append(
+            _Plan("flip", after=after, byte=byte, bit=bit)
+        )
+        return self
+
+    # -- introspection -------------------------------------------------------
+    def op_count(self, site: str) -> int:
+        """How many times ``site`` has been hit while this injector was
+        active — run a workload once with a passive injector to *discover*
+        the operation numbers a kill matrix should sweep."""
+        return self._counts.get(site, 0)
+
+    # -- firing --------------------------------------------------------------
+    def _hit(self, site: str) -> tuple[int, list[_Plan]]:
+        with self._lock:
+            op = self._counts.get(site, 0) + 1
+            self._counts[site] = op
+            due = []
+            for plan in self._plans.get(site, ()):
+                if plan.kind == "error":
+                    if plan.after <= op < plan.after + plan.times:
+                        plan.fired += 1
+                        due.append(plan)
+                elif plan.after == op:
+                    plan.fired += 1
+                    due.append(plan)
+            for plan in due:
+                self.fired.append((site, plan.kind, op))
+        return op, due
+
+    def check(self, site: str) -> None:
+        op, due = self._hit(site)
+        for plan in due:
+            if plan.kind == "crash":
+                raise SimulatedCrash(site, op)
+            if plan.kind == "error":
+                raise OSError(plan.err, os.strerror(plan.err), site)
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        """Count a hit at ``site`` and apply any due corruption to
+        ``data`` (crash/error plans armed on the same site fire too)."""
+        op, due = self._hit(site)
+        for plan in due:
+            if plan.kind == "crash":
+                raise SimulatedCrash(site, op)
+            if plan.kind == "error":
+                raise OSError(plan.err, os.strerror(plan.err), site)
+            if plan.kind == "flip" and data:
+                buf = bytearray(data)
+                buf[plan.byte % len(buf)] ^= 1 << (plan.bit & 7)
+                data = bytes(buf)
+        return data
+
+    def mangle_file(self, site: str, path: str) -> None:
+        """Like :meth:`mangle`, for sites where the payload is written by
+        third-party code (``np.savez``): corrupts the file in place."""
+        op, due = self._hit(site)
+        for plan in due:
+            if plan.kind == "crash":
+                raise SimulatedCrash(site, op)
+            if plan.kind == "error":
+                raise OSError(plan.err, os.strerror(plan.err), site)
+            if plan.kind == "flip":
+                with open(path, "r+b") as f:
+                    f.seek(0, os.SEEK_END)
+                    size = f.tell()
+                    if size == 0:
+                        continue
+                    f.seek(plan.byte % size)
+                    b = f.read(1)
+                    f.seek(plan.byte % size)
+                    f.write(bytes([b[0] ^ (1 << (plan.bit & 7))]))
+
+    # -- installation --------------------------------------------------------
+    @contextlib.contextmanager
+    def active(self):
+        """Install this injector as the process-wide active one."""
+        global _ACTIVE
+        prev = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = prev
+
+
+_ACTIVE: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def check(site: str) -> None:
+    """Production-side fault point: no-op unless an injector is active."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(site)
+
+
+def mangle(site: str, data: bytes) -> bytes:
+    """Pass payload bytes through a fault point (bit-flip plans apply)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.mangle(site, data)
+    return data
+
+
+def mangle_file(site: str, path: str) -> None:
+    """File-level fault point for payloads written by third-party code."""
+    if _ACTIVE is not None:
+        _ACTIVE.mangle_file(site, path)
+
+
+def retrying(
+    fn,
+    site: str,
+    retries: int = 4,
+    backoff: float = 0.001,
+    sleep=time.sleep,
+):
+    """Run ``fn()``, retrying transient ``OSError``s with bounded backoff.
+
+    Only :data:`RETRYABLE_ERRNOS` are retried, at most ``retries`` times,
+    sleeping ``backoff * 2**attempt`` between attempts (tests pass a
+    no-op ``sleep``).  Anything else — including a transient errno that
+    persists past the budget — propagates to the caller, which must leave
+    durable state consistent (that is what the fault matrix proves).
+    """
+    delay = backoff
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except OSError as e:
+            if e.errno not in RETRYABLE_ERRNOS or attempt == retries:
+                raise
+            sleep(delay)
+            delay *= 2

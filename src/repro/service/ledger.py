@@ -1,0 +1,223 @@
+"""Append-only, checksummed write-ahead ledger for the privacy accountant.
+
+An overdrawn privacy budget is not a retryable error — once noise
+calibrated to an unauthorized ε has been released, no recovery code can
+un-release it.  So the accountant's durable state follows the classic
+WAL discipline with the mechanism, not the database, as the thing being
+protected: **a debit is fsync'd to the ledger before any noise is
+drawn**.  A crash after the fsync wastes at most one debit's worth of
+budget (conservative, safe); a crash before it loses a record for which
+no measurement ever happened (also safe).  At no kill-point can the
+replayed spend be *less* than the noise actually released.
+
+WAL format
+----------
+One JSON object per line (JSONL), append-only::
+
+    {"crc": "9f…16hex", "dataset": "adult", "epsilon": 0.5,
+     "kind": "debit", "composition": "sequential", "stage": "…", "v": 1}
+
+``crc`` is the first 16 hex chars of SHA-256 over the record's canonical
+JSON (sorted keys, compact separators) *without* the crc field.  Two
+record kinds: ``"register"`` (dataset + cap) and ``"debit"``
+(dataset + epsilon + composition + stage).
+
+Recovery semantics
+------------------
+:meth:`WriteAheadLedger.read_new` replays records in order and stops at
+the first line that is incomplete (no trailing newline), unparsable, or
+checksum-mismatched — everything from there on is the **torn tail** a
+crashed writer left behind, and only the committed prefix counts.  The
+tail is physically truncated the next time a writer holds the lock
+(:meth:`WriteAheadLedger.truncate_torn_tail`), so the file never grows
+garbage in the middle.
+
+Lock protocol
+-------------
+Every read-check-append cycle runs under an exclusive ``flock`` on a
+``<path>.lock`` sidecar (the WAL file itself is never the lock target —
+O_APPEND re-opens must not drop a held lock).  The accountant's
+compare-and-debit is: **lock → replay other writers' tail → check cap →
+append+fsync → apply in memory → unlock**, which makes the cap check and
+the debit one atomic step across processes: two accountants sharing a
+ledger path can never jointly overdraw a cap.  Within a process, a
+``threading.RLock`` serializes threads first, so the flock only
+arbitrates between processes.  On platforms without ``fcntl`` the file
+lock degrades to thread-only safety (single-process use).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform — single-process use only
+    fcntl = None
+
+from . import faults
+
+__all__ = ["TornRecordError", "WriteAheadLedger", "decode_line", "encode_record"]
+
+_CRC_CHARS = 16
+LEDGER_VERSION = 1
+
+
+class TornRecordError(ValueError):
+    """A ledger line failed to parse or verify — the torn-tail marker."""
+
+
+def _canonical(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+
+
+def encode_record(record: dict) -> bytes:
+    """Serialize one record to its checksummed JSONL line (with newline)."""
+    crc = hashlib.sha256(_canonical(record)).hexdigest()[:_CRC_CHARS]
+    return _canonical({**record, "crc": crc}) + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse and verify one ledger line; :class:`TornRecordError` on any
+    damage (bad JSON, missing/forged crc) — the caller treats the rest of
+    the file as a torn tail."""
+    try:
+        record = json.loads(line)
+    except ValueError as e:
+        raise TornRecordError(f"unparsable ledger line: {e}") from None
+    if not isinstance(record, dict):
+        raise TornRecordError(f"ledger line is not an object: {record!r}")
+    crc = record.pop("crc", None)
+    expect = hashlib.sha256(_canonical(record)).hexdigest()[:_CRC_CHARS]
+    if crc != expect:
+        raise TornRecordError(
+            f"ledger record checksum mismatch: stored {crc!r}, computed {expect!r}"
+        )
+    return record
+
+
+class WriteAheadLedger:
+    """The accountant's durable half: an append-only checksummed JSONL file.
+
+    The ledger tracks ``offset`` — the byte position up to which *this
+    process* has replayed committed records — so :meth:`read_new` returns
+    exactly the records other writers (or a pre-crash self) appended
+    since, and :meth:`append` writes land after them.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.offset = 0  # bytes of committed records consumed so far
+        self._torn_at: int | None = None  # file offset of a detected torn tail
+        parent = os.path.dirname(os.path.abspath(self.path))
+        if not os.path.isdir(parent):
+            raise ValueError(
+                f"ledger directory {parent!r} does not exist — create it "
+                "before opening a write-ahead ledger there"
+            )
+
+    # -- locking -------------------------------------------------------------
+    @contextlib.contextmanager
+    def locked(self):
+        """Exclusive cross-process lock for read-check-append cycles."""
+        if fcntl is None:
+            yield
+            return
+        faults.check("ledger.lock")
+        with open(self.path + ".lock", "a") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock, fcntl.LOCK_UN)
+
+    # -- reading -------------------------------------------------------------
+    def read_new(self) -> list[dict]:
+        """Replay committed records appended since our offset.
+
+        Stops (without advancing past) the first torn/corrupt line.  Safe
+        to call without the lock: a half-written record simply fails its
+        checksum and is retried on the next call; truncation of a real
+        torn tail only ever happens under the lock.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size == self.offset and self._torn_at is None:
+            return []
+        records: list[dict] = []
+        with open(self.path, "rb") as f:
+            f.seek(self.offset)
+            data = f.read()
+        pos = 0
+        self._torn_at = None
+        while pos < len(data):
+            nl = data.find(b"\n", pos)
+            if nl < 0:  # incomplete final line — a write in flight or torn
+                self._torn_at = self.offset + pos
+                break
+            try:
+                records.append(decode_line(data[pos : nl + 1]))
+            except TornRecordError:
+                self._torn_at = self.offset + pos
+                break
+            pos = nl + 1
+        self.offset += pos
+        return records
+
+    def truncate_torn_tail(self) -> int:
+        """Physically drop a detected torn tail (call under the lock only:
+        with the lock held, any writer of that tail is provably dead).
+        Returns the number of bytes removed."""
+        if self._torn_at is None:
+            return 0
+        removed = os.path.getsize(self.path) - self._torn_at
+        with open(self.path, "r+b") as f:
+            f.truncate(self._torn_at)
+            f.flush()
+
+            def _fsync():
+                faults.check("ledger.truncate.fsync")
+                os.fsync(f.fileno())
+
+            faults.retrying(_fsync, site="ledger.truncate.fsync")
+        self._torn_at = None
+        return removed
+
+    # -- writing -------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record: encode → write → flush → **fsync**.
+
+        Call under :meth:`locked` after :meth:`read_new`; returns only
+        once the record is on stable storage, so the caller may then
+        safely release the irreversible effect the record authorizes
+        (draw noise, apply the debit in memory).  A detected torn tail is
+        truncated first so the new record lands after the committed
+        prefix, not after garbage that would mask it from every future
+        replay.
+        """
+        if self._torn_at is not None:
+            self.truncate_torn_tail()
+        line = faults.mangle("ledger.append.payload", encode_record(record))
+        with open(self.path, "ab") as f:
+
+            def _write():
+                faults.check("ledger.append.write")
+                f.write(line)
+                f.flush()
+
+            def _fsync():
+                faults.check("ledger.append.fsync")
+                os.fsync(f.fileno())
+
+            faults.retrying(_write, site="ledger.append.write")
+            faults.retrying(_fsync, site="ledger.append.fsync")
+        # Kill-point between the durable write and the caller's in-memory
+        # apply: a crash here leaves a committed record the next recovery
+        # replays — budget conservatively spent, never overdrawn.
+        faults.check("ledger.append.commit")
+        self.offset += len(line)

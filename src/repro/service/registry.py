@@ -10,6 +10,7 @@ Layout — one JSON manifest plus one npz per strategy::
 
     <root>/manifest.json          # key → metadata (human-inspectable)
     <root>/<fingerprint>.npz      # structural config + arrays + solver state
+    <root>/quarantine/            # corrupted entries, renamed aside
 
 The npz carries the strategy's :mod:`structural config
 <repro.linalg.serialize>` (JSON string under ``__config__``, ndarrays
@@ -25,12 +26,46 @@ bit-identical to the fitted one.
 Keys are :func:`~repro.service.fingerprint.workload_fingerprint` values,
 so any process that can *construct* the workload can find its strategy —
 no shared naming convention required.
+
+Durability and integrity
+------------------------
+A strategy that silently decodes to the wrong arrays serves wrong
+answers with real privacy budget behind them, so every write is atomic
+and every read is verified:
+
+* **atomic writes** — npz and manifest are written to a temp file,
+  flushed, ``fsync``'d, then ``os.replace``'d into place (with the
+  directory fsync'd after), so a reader — or the next process after a
+  crash — sees either the old complete file or the new one, never a torn
+  write.  Crash-abandoned ``*.tmp-*`` files are ignored by every read
+  path.
+* **per-entry checksums** — the manifest records the SHA-256 of each npz;
+  :meth:`StrategyRegistry.load` verifies it before deserializing.
+  Entries written by a pre-checksum registry lack the field and verify
+  lazily: their digest is computed and backfilled on first load.
+* **quarantine, not crash** — an entry that fails its checksum, fails to
+  parse, or has lost its npz is renamed into ``quarantine/`` (preserved
+  for forensics), dropped from the manifest, and reported to the caller
+  as a miss: :meth:`get` returns ``None``, so
+  :meth:`~repro.service.engine.QueryService.route_misses` simply re-fits
+  the workload cold instead of failing the request.  A manifest that
+  itself fails to parse is quarantined and rebuilt from the npz files
+  present (fit metadata is lost; strategies are not).
+
+All cross-process read-modify-write cycles on the manifest run under an
+exclusive ``flock`` on a ``.lock`` sidecar, and all filesystem effects
+route through the :mod:`~repro.service.faults` fault points
+(``registry.npz.write`` / ``.fsync`` / ``.replace``,
+``registry.manifest.*``, ``registry.load``) so the crash matrix in
+``tests/test_faults.py`` can drive every one.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -52,12 +87,28 @@ from ..linalg import (
 from ..core.solvers import export_gram_solver_state, restore_gram_solver_state
 from ..domain import Domain
 from ..workload.logical import LogicalWorkload
+from . import faults
 from .fingerprint import workload_fingerprint
 
-__all__ = ["StrategyRecord", "StrategyRegistry"]
+__all__ = ["RegistryCorruptionError", "StrategyRecord", "StrategyRegistry"]
+
+logger = logging.getLogger(__name__)
 
 _MANIFEST = "manifest.json"
-_MANIFEST_VERSION = 1
+_QUARANTINE = "quarantine"
+#: Version 2 adds per-entry ``sha256`` checksums.  Version-1 manifests
+#: (pre-checksum) are still accepted; their entries verify lazily — the
+#: digest is computed and backfilled on each entry's first load.
+_MANIFEST_VERSION = 2
+_ACCEPTED_VERSIONS = frozenset({1, _MANIFEST_VERSION})
+
+
+class RegistryCorruptionError(RuntimeError):
+    """A persisted strategy failed verification and was quarantined.
+
+    :meth:`StrategyRegistry.get` absorbs this into a cold miss; it only
+    reaches callers that :meth:`StrategyRegistry.load` a key directly.
+    """
 
 
 @dataclass
@@ -84,12 +135,85 @@ class StrategyRecord:
     meta: dict = field(default_factory=dict)
 
 
+def _fsync_dir(path: str) -> None:
+    """Durably commit a rename: fsync the containing directory."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platform without directory fds
+        return
+    try:
+        faults.retrying(lambda: os.fsync(fd), site="registry.dir.fsync")
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str, data: bytes, site: str) -> None:
+    """temp file → write → flush → fsync → replace → dir fsync.
+
+    Ordinary failures clean up the temp file; a :class:`SimulatedCrash`
+    (``BaseException``) leaves it behind exactly as a real kill would.
+    """
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+
+            def _write():
+                faults.check(f"{site}.write")
+                f.write(faults.mangle(f"{site}.payload", data))
+                f.flush()
+
+            def _fsync():
+                faults.check(f"{site}.fsync")
+                os.fsync(f.fileno())
+
+            faults.retrying(_write, site=f"{site}.write")
+            faults.retrying(_fsync, site=f"{site}.fsync")
+        faults.check(f"{site}.replace")
+        os.replace(tmp, path)
+    except Exception:
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+    _fsync_dir(os.path.dirname(os.path.abspath(path)))
+
+
+def _file_sha256(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
 class StrategyRegistry:
-    """npz + JSON-manifest store of fitted strategies, keyed by fingerprint."""
+    """npz + JSON-manifest store of fitted strategies, keyed by fingerprint.
+
+    The root directory is created (and probed for writability) at
+    construction, so a service wired to an unusable path fails here with
+    a clear error instead of deep inside its first cold fit.
+    """
 
     def __init__(self, root: str):
         self.root = str(root)
-        os.makedirs(self.root, exist_ok=True)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as e:
+            raise ValueError(
+                f"registry root {self.root!r} cannot be created: {e}"
+            ) from e
+        if not os.path.isdir(self.root):
+            raise ValueError(
+                f"registry root {self.root!r} exists but is not a directory"
+            )
+        probe = os.path.join(self.root, f".probe-{os.getpid()}")
+        try:
+            with open(probe, "w"):
+                pass
+            os.remove(probe)
+        except OSError as e:
+            raise ValueError(
+                f"registry root {self.root!r} is not writable: {e}"
+            ) from e
 
     # -- manifest plumbing -------------------------------------------------
     @property
@@ -116,13 +240,51 @@ class StrategyRegistry:
             finally:
                 fcntl.flock(lock, fcntl.LOCK_UN)
 
+    def _quarantine_file(self, name: str) -> str | None:
+        """Move ``<root>/<name>`` aside into ``quarantine/`` (best effort);
+        returns the quarantine path, or None if there was nothing to move."""
+        src = os.path.join(self.root, name)
+        if not os.path.exists(src):
+            return None
+        qdir = os.path.join(self.root, _QUARANTINE)
+        os.makedirs(qdir, exist_ok=True)
+        dst = os.path.join(qdir, f"{name}.{os.getpid()}-{int(time.time())}")
+        try:
+            os.replace(src, dst)
+        except OSError:
+            return None
+        return dst
+
+    def _rebuild_manifest(self) -> dict:
+        """Best-effort manifest from the npz files present (used after the
+        manifest itself was quarantined): fit metadata is lost, strategies
+        are not — checksums are backfilled on each entry's first load."""
+        entries = {}
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".npz") or ".tmp-" in name:
+                continue
+            entries[name[:-4]] = {"file": name, "recovered": True}
+        return {"version": _MANIFEST_VERSION, "entries": entries}
+
     def _read_manifest(self) -> dict:
+        faults.check("registry.manifest.read")
         try:
             with open(self.manifest_path) as f:
                 manifest = json.load(f)
         except FileNotFoundError:
             return {"version": _MANIFEST_VERSION, "entries": {}}
-        if manifest.get("version") != _MANIFEST_VERSION:
+        except ValueError:
+            where = self._quarantine_file(_MANIFEST)
+            logger.warning(
+                "registry manifest %s is corrupt; quarantined to %s and "
+                "rebuilt from the npz files present (fit metadata lost)",
+                self.manifest_path,
+                where,
+            )
+            manifest = self._rebuild_manifest()
+            self._write_manifest(manifest)
+            return manifest
+        if manifest.get("version") not in _ACCEPTED_VERSIONS:
             raise ValueError(
                 f"unsupported registry manifest version "
                 f"{manifest.get('version')!r} at {self.manifest_path}"
@@ -130,12 +292,9 @@ class StrategyRegistry:
         return manifest
 
     def _write_manifest(self, manifest: dict) -> None:
-        # Write-then-rename so a crashed writer never leaves a truncated
-        # manifest behind for the next process.
-        tmp = self.manifest_path + ".tmp"
-        with open(tmp, "w") as f:
-            json.dump(manifest, f, indent=2, sort_keys=True)
-        os.replace(tmp, self.manifest_path)
+        manifest["version"] = _MANIFEST_VERSION
+        data = json.dumps(manifest, indent=2, sort_keys=True).encode()
+        _atomic_write(self.manifest_path, data, site="registry.manifest")
 
     def _strategy_path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.npz")
@@ -179,7 +338,10 @@ class StrategyRegistry:
         """Persist a fitted strategy; returns its registry key.
 
         An existing entry for the same key is replaced (re-fitting a
-        workload updates the served strategy).
+        workload updates the served strategy).  The npz is written
+        atomically (temp + fsync + replace) and its SHA-256 is recorded
+        in the manifest before the entry becomes visible, so no reader
+        can ever observe a strategy without the checksum that guards it.
         """
         key = self.key_for(workload, domain=domain, template=template)
         solver = export_gram_solver_state(strategy)
@@ -188,18 +350,43 @@ class StrategyRegistry:
             "solver": solver,
         }
         flat, arrays = flatten_arrays(payload)
-        # Write-then-rename: a concurrent load of the same key reads
-        # either the old complete file or the new one, never a torn write.
-        # (np.savez appends .npz to paths that lack it.)
         path = self._strategy_path(key)
+        # np.savez writes into an open file object verbatim; the atomic
+        # temp → fsync → replace dance makes a concurrent load of the
+        # same key read either the old complete file or the new one.
         tmp = f"{path[:-4]}.tmp-{os.getpid()}.npz"
-        np.savez(tmp, __config__=json.dumps(flat), **arrays)
-        os.replace(tmp, path)
+        # Cleanup on ordinary failures only: a SimulatedCrash is a stand-in
+        # for SIGKILL and must leave the tmp file behind exactly as a real
+        # crash would (read paths ignore ``*.tmp-*`` names).
+        try:
+            with open(tmp, "wb") as f:
+
+                def _write():
+                    faults.check("registry.npz.write")
+                    np.savez(f, __config__=json.dumps(flat), **arrays)
+                    f.flush()
+
+                def _fsync():
+                    faults.check("registry.npz.fsync")
+                    os.fsync(f.fileno())
+
+                faults.retrying(_write, site="registry.npz.write")
+                faults.retrying(_fsync, site="registry.npz.fsync")
+            faults.mangle_file("registry.npz.payload", tmp)
+            digest = _file_sha256(tmp)
+            faults.check("registry.npz.replace")
+            os.replace(tmp, path)
+            _fsync_dir(self.root)
+        except Exception:
+            with contextlib.suppress(OSError):
+                os.remove(tmp)
+            raise
 
         with self._locked():
             manifest = self._read_manifest()
             manifest["entries"][key] = {
                 "file": f"{key}.npz",
+                "sha256": digest,
                 "strategy": repr(strategy),
                 "workload": repr(workload),
                 "shape": [int(s) for s in strategy.shape],
@@ -216,13 +403,73 @@ class StrategyRegistry:
             self._write_manifest(manifest)
         return key
 
+    def quarantine(self, key: str, reason: str) -> None:
+        """Move a damaged entry aside and drop it from the manifest.
+
+        The npz is preserved under ``quarantine/`` for forensics; the
+        manifest forgets the key, so every later lookup is a clean cold
+        miss that re-fits and re-persists the strategy.
+        """
+        where = self._quarantine_file(f"{key}.npz")
+        with self._locked():
+            manifest = self._read_manifest()
+            if key in manifest["entries"]:
+                del manifest["entries"][key]
+                self._write_manifest(manifest)
+        logger.warning(
+            "quarantined corrupted strategy %s (%s)%s",
+            key,
+            reason,
+            "" if where is None else f" -> {where}",
+        )
+
+    def _backfill_checksum(self, key: str, digest: str) -> None:
+        """Lazily record the digest of a pre-checksum (version-1) entry."""
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = manifest["entries"].get(key)
+            if entry is not None and "sha256" not in entry:
+                entry["sha256"] = digest
+                self._write_manifest(manifest)
+
     def load(self, key: str) -> StrategyRecord:
-        """Deserialize the strategy stored under ``key`` (KeyError on miss)."""
+        """Deserialize the strategy stored under ``key``.
+
+        Raises ``KeyError`` on an unknown key.  The npz's SHA-256 is
+        verified against the manifest before deserializing (pre-checksum
+        entries have their digest backfilled instead); any mismatch,
+        parse failure, or missing file quarantines the entry and raises
+        :class:`RegistryCorruptionError` — callers going through
+        :meth:`get` see a plain miss.
+        """
         meta = self.entry(key)
-        with np.load(self._strategy_path(key), allow_pickle=False) as npz:
-            payload = restore_arrays(json.loads(npz["__config__"].item()), npz)
-        strategy = matrix_from_config(payload["strategy"])
-        restore_gram_solver_state(strategy, payload["solver"])
+        path = self._strategy_path(key)
+        try:
+            faults.check("registry.load")
+            digest = _file_sha256(path)
+            expected = meta.get("sha256")
+            if expected is not None and digest != expected:
+                raise RegistryCorruptionError(
+                    f"strategy {key!r} failed its checksum: manifest records "
+                    f"sha256 {expected[:16]}…, file has {digest[:16]}…"
+                )
+            with np.load(path, allow_pickle=False) as npz:
+                payload = restore_arrays(
+                    json.loads(npz["__config__"].item()), npz
+                )
+            strategy = matrix_from_config(payload["strategy"])
+            restore_gram_solver_state(strategy, payload["solver"])
+        except RegistryCorruptionError as e:
+            self.quarantine(key, str(e))
+            raise
+        except Exception as e:  # torn zip, bad JSON, missing file/arrays
+            self.quarantine(key, f"{type(e).__name__}: {e}")
+            raise RegistryCorruptionError(
+                f"strategy {key!r} could not be deserialized and was "
+                f"quarantined ({type(e).__name__}: {e})"
+            ) from e
+        if expected is None:
+            self._backfill_checksum(key, digest)
         return StrategyRecord(
             key=key, strategy=strategy, loss=meta.get("loss"), meta=meta
         )
@@ -233,11 +480,21 @@ class StrategyRegistry:
         domain: Domain | None = None,
         template: str | None = None,
     ) -> StrategyRecord | None:
-        """Look up the strategy fitted for ``workload`` (None on miss)."""
+        """Look up the strategy fitted for ``workload``.
+
+        Returns ``None`` on a miss — including the graceful-degradation
+        miss where the stored entry turned out to be corrupt and was
+        quarantined: the caller re-fits cold rather than failing.
+        """
         key = self.key_for(workload, domain=domain, template=template)
         if key not in self:
             return None
-        return self.load(key)
+        try:
+            return self.load(key)
+        except RegistryCorruptionError:
+            return None
+        except KeyError:  # entry vanished between the check and the load
+            return None
 
     def delete(self, key: str) -> None:
         """Remove an entry and its npz file (KeyError on miss)."""
