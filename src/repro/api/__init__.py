@@ -27,9 +27,11 @@ from ..domain import SchemaMismatchError
 from .expr import (
     A,
     AttributeRef,
+    Buckets,
     Condition,
     Conjunction,
     QueryExpr,
+    buckets,
     count,
     marginal,
     prefix,
@@ -54,6 +56,7 @@ __all__ = [
     "Answer",
     "Attribute",
     "AttributeRef",
+    "Buckets",
     "CompiledBatch",
     "CompiledQuery",
     "Condition",
@@ -65,6 +68,7 @@ __all__ = [
     "Schema",
     "SchemaMismatchError",
     "Session",
+    "buckets",
     "compile_batch",
     "compile_expr",
     "count",

@@ -40,6 +40,7 @@ from ..workload.predicates import (
     Predicate,
     Range,
     TruePredicate,
+    bucket_predicates,
     vectorize_set,
 )
 from .schema import Schema
@@ -47,9 +48,11 @@ from .schema import Schema
 __all__ = [
     "A",
     "AttributeRef",
+    "Buckets",
     "Condition",
     "Conjunction",
     "QueryExpr",
+    "buckets",
     "count",
     "marginal",
     "prefix",
@@ -235,6 +238,12 @@ class AttributeRef:
             f"{self.name} <= {value!r}",
         )
 
+    def bucketize(self, *intervals) -> "Buckets":
+        """A custom bucketization of this attribute: one counting query
+        per inclusive ``(lo, hi)`` interval (a bare value is a singleton
+        bucket).  ``A("age").bucketize((0, 17), (18, 64), (65, 74), 75)``."""
+        return Buckets(self.name, list(intervals))
+
     def __repr__(self) -> str:
         return f"A({self.name!r})"
 
@@ -242,6 +251,54 @@ class AttributeRef:
 def A(name: str) -> AttributeRef:
     """The attribute handle: ``A("age").between(30, 40)``."""
     return AttributeRef(name)
+
+
+class Buckets(QueryExpr):
+    """A custom bucketization of one attribute: one counting query per
+    interval (Section 3.3's predicate-set workloads with arbitrary
+    per-attribute interval sets).
+
+    Buckets are inclusive ``(lo, hi)`` pairs in vocabulary labels (a
+    bare value is a singleton bucket) and may overlap, nest, or leave
+    gaps — age bands, income brackets, top-coded tails.  Compiles
+    directly through :func:`~repro.workload.predicates.vectorize_set`
+    (no ``workload.logical`` detour), and every bucket row is an
+    interval indicator, so the compiled query is accelerator-eligible:
+    a free hit answers the whole bucketization in one summed-area
+    gather.
+    """
+
+    def __init__(self, attr: str, intervals: Sequence):
+        self.attr = str(attr)
+        self.intervals = [
+            (iv[0], iv[1]) if isinstance(iv, (tuple, list)) else (iv, iv)
+            for iv in intervals
+        ]
+        if not self.intervals:
+            raise ValueError("bucketization needs at least one bucket")
+        for iv in intervals:
+            if isinstance(iv, (tuple, list)) and len(iv) != 2:
+                raise ValueError(
+                    f"bucket {iv!r} must be a (lo, hi) pair or a scalar"
+                )
+
+    def _terms(self, schema):
+        a = schema.attribute(self.attr)
+        coded = []
+        for lo, hi in self.intervals:
+            lo_c, hi_c = a.encode(lo), a.encode(hi)
+            if lo_c > hi_c:
+                raise ValueError(
+                    f"bucket ({lo!r}, {hi!r}) on {self.attr!r} is empty "
+                    f"in domain order"
+                )
+            coded.append((lo_c, hi_c) if lo_c < hi_c else lo_c)
+        return [
+            (1.0, {self.attr: vectorize_set(bucket_predicates(coded), a.size)})
+        ]
+
+    def __repr__(self) -> str:
+        return f"buckets({self.attr!r}, {self.intervals!r})"
 
 
 class Marginal(QueryExpr):
@@ -349,6 +406,13 @@ def ranges(attr: str) -> RangesExpr:
 def total() -> Total:
     """The single total-count query."""
     return Total()
+
+
+def buckets(attr: str, *intervals) -> Buckets:
+    """A custom bucketization of one attribute: ``buckets("age",
+    (0, 17), (18, 64), 75)`` answers one count per interval (scalars are
+    singleton buckets; intervals may overlap or leave gaps)."""
+    return Buckets(attr, list(intervals))
 
 
 def count(*conditions: Condition) -> QueryExpr:

@@ -8,13 +8,19 @@ compilation, one answer, and — on a miss — one joint ε debit), and
 routes every group through the cheapest serving path *before any budget
 is spent*:
 
-1. **cache** — a cached reconstruction's measured span contains the
-   query: answered free (Definition 5 post-processing);
-2. **warm**  — the miss union is already prepared (memo or registry):
+1. **accelerator** — a cached reconstruction spans the query *and* the
+   query decomposes into axis-aligned boxes at compile time
+   (:func:`repro.service.accelerator.range_spec_of`): answered free by
+   a summed-area corner gather, O(2^k) per query independent of the
+   domain size;
+2. **cache** — a cached reconstruction's measured span contains the
+   query: answered free (Definition 5 post-processing) by a structured
+   matvec;
+3. **warm**  — the miss union is already prepared (memo or registry):
    measured through the fitted strategy, no cold fit;
-3. **direct** — a small unprepared miss batch with narrow joint support:
+4. **direct** — a small unprepared miss batch with narrow joint support:
    the sensitivity-1 selection measurement (no fit at all);
-4. **cold**  — everything else: fitting template + one accounted pass.
+5. **cold**  — everything else: fitting template + one accounted pass.
 
 The emitted :class:`Plan` is inspectable — per-group route, estimated ε
 debit, and expected per-query RMSE (Definition 7 via
@@ -25,12 +31,14 @@ by precisely :attr:`Plan.total_epsilon`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.error import rootmse
 from ..linalg import Matrix, VStack
+from ..service.accelerator import range_spec_of
 from ..service.engine import QueryService
 from ..service.fingerprint import workload_fingerprint
 from .expr import QueryExpr
@@ -53,7 +61,10 @@ class CompiledQuery:
 
     ``fingerprint`` is the canonical identity used for dedup — two
     expressions that vectorize to the same query set (``total()`` and a
-    full-domain range, say) share it.
+    full-domain range, say) share it.  ``range_spec`` is the accelerator
+    eligibility tag, derived structurally at compile time: non-``None``
+    exactly when every query row decomposes into axis-aligned boxes, so
+    a free hit serves by summed-area gather instead of a matvec.
     """
 
     expr: QueryExpr
@@ -61,6 +72,7 @@ class CompiledQuery:
     fingerprint: str
     rows: int
     schema: Schema
+    range_spec: object | None = None
 
     @property
     def domain(self):
@@ -118,16 +130,24 @@ def compile_expr(expr: QueryExpr, schema: Schema) -> CompiledQuery:
         fingerprint=workload_fingerprint(matrix, domain=schema.domain),
         rows=int(matrix.shape[0]),
         schema=schema,
+        range_spec=range_spec_of(matrix),
     )
 
 
-def compile_batch(exprs, schema: Schema) -> CompiledBatch:
-    """Compile a batch, deduping identical queries by fingerprint."""
+def compile_batch(exprs, schema: Schema, compile_one=None) -> CompiledBatch:
+    """Compile a batch, deduping identical queries by fingerprint.
+
+    ``compile_one`` overrides the per-expression compiler — the Session
+    layer passes its memoized compile so replanning identical traffic
+    reuses compiled matrices (and everything memoized on them: range
+    specs, gather plans, span-probe results).
+    """
+    compile_one = compile_one or compile_expr
     queries: list[CompiledQuery] = []
     by_key: dict[str, int] = {}
     index_map: list[int] = []
     for e in exprs:
-        cq = compile_expr(e, schema)
+        cq = compile_one(e, schema)
         pos = by_key.get(cq.fingerprint)
         if pos is None:
             pos = len(queries)
@@ -147,7 +167,7 @@ class PlanEntry:
     :class:`~repro.service.QueryMiss` before touching the budget.
     """
 
-    route: str  # "cache" | "warm" | "direct" | "cold"
+    route: str  # "accelerator" | "cache" | "warm" | "direct" | "cold"
     indices: tuple[int, ...]  # positions in the deduped batch
     rows: int
     key: str | None
@@ -263,30 +283,53 @@ def plan_queries(
     if not batch.queries:
         return plan
 
-    # 1. Free hits from cached reconstructions, grouped by covering key.
-    hit_groups: dict[str, list[int]] = {}
+    # 1. Free hits from cached reconstructions, grouped by
+    # (covering key, serving route) — accelerator-eligible hits serve by
+    # summed-area gather, the rest by the span-projection matvec.  The
+    # compiled fingerprint memoizes the span probe on the strategy, so
+    # re-planning (and execution after planning) never repeats the
+    # projection for the same query shape.
+    hit_groups: dict[tuple[str, str], list[int]] = {}
     miss: list[int] = []
     for i, cq in enumerate(batch.queries):
-        key = service.covering_key(dataset, cq.matrix)
+        key, route = service.probe_hit(
+            dataset, cq.matrix, fingerprint=cq.fingerprint
+        )
         if key is None:
             miss.append(i)
         else:
-            hit_groups.setdefault(key, []).append(i)
-    for key, idxs in hit_groups.items():
-        W = _stack([batch.queries[i].matrix for i in idxs])
+            hit_groups.setdefault((key, route), []).append(i)
+    for (key, route), idxs in hit_groups.items():
         recon = service.cached_reconstruction(dataset, key)
-        rmse = (
-            _safe_rmse(W, recon.strategy, recon.eps) if recon is not None else None
-        )
+        rmse = None
+        if recon is not None:
+            # The RMSE estimate depends only on (strategy, group, ε), so
+            # re-planning the same traffic reuses it — a warm plan must
+            # never cost more than a cold one.
+            digest = hashlib.sha256(
+                "|".join(batch.queries[i].fingerprint for i in idxs).encode()
+            ).hexdigest()[:16]
+            memo_key = f"plan_rmse:{digest}:{recon.eps!r}"
+            memo = recon.strategy.cache_get(memo_key)
+            if memo is None:
+                W = _stack([batch.queries[i].matrix for i in idxs])
+                memo = recon.strategy.cache_set(
+                    memo_key, (_safe_rmse(W, recon.strategy, recon.eps),)
+                )
+            rmse = memo[0]
         plan.entries.append(
             PlanEntry(
-                route="cache",
+                route=route,
                 indices=tuple(idxs),
                 rows=sum(batch.queries[i].rows for i in idxs),
                 key=key,
                 epsilon=0.0,
                 expected_rmse=rmse,
-                detail="measured-span projection",
+                detail=(
+                    "summed-area gather"
+                    if route == "accelerator"
+                    else "measured-span projection"
+                ),
             )
         )
     if not miss:

@@ -66,7 +66,7 @@ class Answer:
 
     expr: QueryExpr
     values: np.ndarray
-    route: str  # "cache" | "warm" | "direct" | "cold"
+    route: str  # "accelerator" | "cache" | "warm" | "direct" | "cold"
     key: str | None
     epsilon: float
     span_projected: bool
@@ -99,15 +99,33 @@ class Dataset:
         self.session = session
         self.name = name
         self.schema = schema
+        # Compiled-query memo keyed by expression identity: replanning or
+        # re-asking the same expression objects reuses their compiled
+        # matrices, which keeps everything memoized *on* those matrices
+        # warm too (accelerator range specs, gather plans, span probes).
+        self._compile_memo: dict[int, tuple[QueryExpr, CompiledQuery]] = {}
 
     # -- compile / plan (lazy, budget-free) ---------------------------------
     def compile(self, expr: QueryExpr) -> CompiledQuery:
-        """Vectorize one expression against this dataset's schema."""
-        return compile_expr(expr, self.schema)
+        """Vectorize one expression against this dataset's schema.
+
+        Memoized per expression object (expressions are immutable once
+        built); the memo is bounded and simply resets when full.
+        """
+        hit = self._compile_memo.get(id(expr))
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        cq = compile_expr(expr, self.schema)
+        if len(self._compile_memo) >= 4096:
+            self._compile_memo.clear()
+        self._compile_memo[id(expr)] = (expr, cq)
+        return cq
 
     def compile_many(self, exprs) -> CompiledBatch:
         """Compile a batch, deduping identical queries by fingerprint."""
-        return compile_batch(exprs, self.schema)
+        return compile_batch(
+            exprs, self.schema, compile_one=lambda e, _s: self.compile(e)
+        )
 
     def plan(self, exprs, eps: float | None = None) -> Plan:
         """Route a batch without executing it: inspect before you spend."""

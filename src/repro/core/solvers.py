@@ -418,21 +418,68 @@ def export_gram_solver_state(A: Matrix) -> dict | None:
         state = A.cache_get("union_gram_state")
         if state is None:  # cache globally disabled — outcome not recorded
             return None
-        return {"factors": list(state["factors"]), "lam": state["lam"]}
+        return _attach_recycle_state(
+            A, {"factors": list(state["factors"]), "lam": state["lam"]}
+        )
     if union_gram_preconditioner(A) is not None:
         state = A.cache_get("union_gram_precond_state")
         if state is None:  # cache globally disabled — outcome not recorded
             return None
-        return {
-            "precond_factors": list(state["factors"]),
-            "precond_lam": state["lam"],
-            "precond_blocks": [int(b) for b in state["blocks"]],
-        }
+        return _attach_recycle_state(
+            A,
+            {
+                "precond_factors": list(state["factors"]),
+                "precond_lam": state["lam"],
+                "precond_blocks": [int(b) for b in state["blocks"]],
+            },
+        )
     # ``precond_probed`` marks that the dominant-pair probe itself ran
     # and failed.  Registry entries written before the preconditioner
     # existed carry a bare ``{"unavailable": True}``, and restore must
     # not let that legacy state disable a probe it never ran.
-    return {"unavailable": True, "precond_probed": True}
+    return _attach_recycle_state(
+        A, {"unavailable": True, "precond_probed": True}
+    )
+
+
+def _attach_recycle_state(A: Matrix, state: dict) -> dict:
+    """Fold ``A``'s harvested Ritz basis into an export, if one exists.
+
+    The basis is float64 and ``G``-orthonormal by construction, so
+    persisting the raw ``U``/``GU``/``ritz_values`` arrays round-trips
+    it exactly: a warm-loaded L-block strategy starts its first solve
+    already deflated instead of re-harvesting across a process restart.
+    """
+    rec = A.cache_get("gram_recycle_state")
+    if rec is not None and rec.size > 0:
+        state["recycle_U"] = rec.U
+        state["recycle_GU"] = rec.GU
+        state["recycle_ritz"] = rec.ritz_values
+        state["recycle_tuning"] = {
+            "max_vectors": rec.max_vectors,
+            "harvest_columns": rec.harvest_columns,
+            "ritz_per_column": rec.ritz_per_column,
+            "max_lanczos": rec.max_lanczos,
+            "ritz_tol": rec.ritz_tol,
+        }
+    return state
+
+
+def _restore_recycle_state(A: Matrix, state: dict) -> None:
+    if "recycle_U" not in state:
+        return
+    tuning = state.get("recycle_tuning") or {}
+    rec = GramRecycleState(
+        max_vectors=int(tuning.get("max_vectors", 48)),
+        harvest_columns=int(tuning.get("harvest_columns", 4)),
+        ritz_per_column=int(tuning.get("ritz_per_column", 8)),
+        max_lanczos=int(tuning.get("max_lanczos", 48)),
+        ritz_tol=float(tuning.get("ritz_tol", 1e-3)),
+    )
+    rec.U = np.ascontiguousarray(state["recycle_U"], dtype=np.float64)
+    rec.GU = np.ascontiguousarray(state["recycle_GU"], dtype=np.float64)
+    rec.ritz_values = np.asarray(state["recycle_ritz"], dtype=np.float64)
+    A.cache_set("gram_recycle_state", rec)
 
 
 def restore_gram_solver_state(A: Matrix, state: dict | None) -> None:
@@ -446,6 +493,7 @@ def restore_gram_solver_state(A: Matrix, state: dict | None) -> None:
     """
     if state is None:
         return
+    _restore_recycle_state(A, state)
     if state.get("unavailable"):
         if isinstance(A, VStack):
             A.cache_set("union_gram_inverse", "unavailable")

@@ -19,6 +19,11 @@ facts into a service:
 * :mod:`~repro.service.engine` — the :class:`QueryService` front end:
   free answers from cached reconstructions, batched accounted
   measurement for everything else;
+* :mod:`~repro.service.accelerator` — summed-area tables over cached
+  reconstructions: box-decomposable hits (ranges, prefixes, marginals,
+  totals, bucketizations) answer by an O(2^k) corner gather independent
+  of domain size — the first route in the serving table (accelerator →
+  cache → warm → direct → cold);
 * :mod:`~repro.service.faults` — deterministic fault injection
   (kill-points, bit flips, transient errnos) at every write/fsync/
   replace/load site the two stores perform, driven by the crash matrix
@@ -26,6 +31,12 @@ facts into a service:
 """
 
 from ..domain import SchemaMismatchError
+from .accelerator import (
+    AcceleratorTable,
+    RangeSpec,
+    range_spec_of,
+    strategy_spans_everything,
+)
 from .accountant import BudgetExceededError, LedgerEntry, PrivacyAccountant
 from .ledger import WriteAheadLedger
 from .engine import (
@@ -42,6 +53,7 @@ from .fingerprint import canonical_config, config_digest, workload_fingerprint
 from .registry import RegistryCorruptionError, StrategyRecord, StrategyRegistry
 
 __all__ = [
+    "AcceleratorTable",
     "BatchResult",
     "BudgetExceededError",
     "LedgerEntry",
@@ -50,6 +62,7 @@ __all__ = [
     "QueryAnswer",
     "QueryMiss",
     "QueryService",
+    "RangeSpec",
     "Reconstruction",
     "RegistryCorruptionError",
     "SchemaMismatchError",
@@ -60,5 +73,7 @@ __all__ = [
     "canonical_config",
     "config_digest",
     "in_measured_span",
+    "range_spec_of",
+    "strategy_spans_everything",
     "workload_fingerprint",
 ]

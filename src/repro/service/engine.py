@@ -26,6 +26,15 @@ measurement.  The serving rules:
   :meth:`QueryService.answer` routes a mixed batch: cache hits are
   answered free, and the misses are stacked into one ad-hoc union
   workload measured in a single accounted ``run_batch`` pass.
+* **hits are O(1) in the domain** — a hit whose query decomposes into
+  axis-aligned boxes (:func:`~repro.service.accelerator.range_spec_of`)
+  is served from the reconstruction's summed-area
+  :class:`~repro.service.accelerator.AcceleratorTable` by a vectorized
+  corner gather (route ``"accelerator"``) instead of a structured
+  matvec; tables are built lazily per (reconstruction, cube shape),
+  invalidated with the reconstruction, and persisted through the
+  registry under the PR 6 durability contracts.  The full routing
+  order is **accelerator → cache → warm → direct → cold**.
 * **small cold misses skip SELECT entirely** — an *unprepared* one-off
   miss batch at or below ``direct_miss_threshold`` query rows (touching
   at most ``DIRECT_MISS_SUPPORT_LIMIT`` domain cells) is not worth a
@@ -58,6 +67,13 @@ from ..core.solvers import (
 from ..domain import Domain, SchemaMismatchError
 from ..linalg import Dense, Matrix, VStack
 from ..workload.logical import as_workload_matrix
+from .accelerator import (
+    AcceleratorTable,
+    load_table,
+    range_spec_of,
+    store_table,
+    strategy_spans_everything,
+)
 from .accountant import PrivacyAccountant
 from .registry import StrategyRegistry
 
@@ -229,8 +245,11 @@ class QueryAnswer:
     ``hit`` marks a zero-budget answer from a cached reconstruction;
     ``key`` names the strategy fingerprint whose measurement produced the
     reconstruction used; ``route`` records which serving path produced
-    the answer (``"cache"`` / ``"warm"`` / ``"direct"`` / ``"cold"``) —
-    the provenance the declarative layer surfaces per query.
+    the answer (``"accelerator"`` / ``"cache"`` / ``"warm"`` /
+    ``"direct"`` / ``"cold"``) — the provenance the declarative layer
+    surfaces per query.  ``"accelerator"`` and ``"cache"`` are both free
+    hits; they differ only in how ``Q @ x̂`` was evaluated (summed-area
+    corner gather vs structured matvec).
     """
 
     values: np.ndarray
@@ -288,6 +307,9 @@ class Reconstruction:
 class _DatasetState:
     x: np.ndarray
     reconstructions: dict[str, Reconstruction] = field(default_factory=dict)
+    #: (reconstruction key, cube shape) → summed-area table over its x̂.
+    #: Entries are dropped whenever the reconstruction is replaced.
+    accel: dict = field(default_factory=dict)
 
 
 class QueryService:
@@ -543,6 +565,8 @@ class QueryService:
                     x_hat=np.ascontiguousarray(x_hat[best, 0]),
                     eps=float(eps_arr[best]),
                 )
+                self._invalidate_tables(ds, key)
+        self._refresh_persisted_solver_state(key, strategy)
         return ServeResult(
             answers=answers,
             x_hat=x_hat,
@@ -554,22 +578,144 @@ class QueryService:
             from_registry=from_registry,
         )
 
+    def _refresh_persisted_solver_state(self, key: str, strategy: Matrix) -> None:
+        """Re-persist a registered strategy whose recycled Ritz basis has
+        grown since it was last written.
+
+        The basis is harvested *during* reconstruction — after ``put``
+        serialized the entry — so without this hook every fresh process
+        re-harvests from scratch.  ``persisted_recycle_size`` is stamped
+        on the strategy by the registry at write and load time; a
+        strategy that never went through this registry carries no stamp
+        and is left alone.  Best-effort: persistence failures must not
+        fail the measurement that triggered them.
+        """
+        if self.registry is None:
+            return
+        rec = strategy.cache_get("gram_recycle_state")
+        persisted = strategy.cache_get("persisted_recycle_size")
+        if rec is None or persisted is None or rec.size <= persisted:
+            return
+        try:
+            self.registry.refresh_solver_state(key, strategy)
+        except OSError:
+            pass
+
     # -- free post-processing ------------------------------------------------
-    def _find_cover(self, ds: _DatasetState, Q: Matrix) -> Reconstruction | None:
-        """Newest cached reconstruction whose measured span contains Q."""
+    def _find_cover(
+        self,
+        ds: _DatasetState,
+        Q: Matrix,
+        fingerprint: str | None = None,
+    ) -> Reconstruction | None:
+        """Newest cached reconstruction whose measured span contains Q.
+
+        Span membership is established as cheaply as possible: the
+        structural full-rank certificate
+        (:func:`~repro.service.accelerator.strategy_spans_everything`)
+        first — a certified strategy spans every query, no algebra at
+        all — then, for queries carrying a compile-time ``fingerprint``,
+        a per-(strategy, fingerprint) memo of the projection verdict, so
+        a planning pass or repeated traffic pays the ~0.25 ms
+        :func:`in_measured_span` projection at most once per query shape.
+        The certificate choosing a reconstruction never changes *which*
+        one is chosen: certified ⟹ the projection test would accept too.
+        """
         for recon in reversed(list(ds.reconstructions.values())):
-            if Q.shape[1] == recon.strategy.shape[1] and in_measured_span(
-                recon.strategy, Q, tol=self.span_tol
-            ):
+            if Q.shape[1] != recon.strategy.shape[1]:
+                continue
+            if strategy_spans_everything(recon.strategy):
+                return recon
+            if fingerprint is not None:
+                memo_key = f"span:{fingerprint}"
+                memo = recon.strategy.cache_get(memo_key)
+                if memo is None:
+                    memo = recon.strategy.cache_set(
+                        memo_key,
+                        in_measured_span(recon.strategy, Q, tol=self.span_tol),
+                    )
+                if memo:
+                    return recon
+                continue
+            if in_measured_span(recon.strategy, Q, tol=self.span_tol):
                 return recon
         return None
+
+    def _serve_hit(
+        self, dataset: str, ds: _DatasetState, Q: Matrix, recon: Reconstruction
+    ) -> QueryAnswer:
+        """Answer a free hit, via the summed-area table when the query
+        decomposes into boxes, else the structured matvec.  Both evaluate
+        exactly ``Q @ x̂``."""
+        spec = range_spec_of(Q)
+        if spec is not None:
+            table = self._accel_table(dataset, ds, recon, spec.shape)
+            return QueryAnswer(
+                values=table.answer(spec),
+                hit=True,
+                key=recon.key,
+                route="accelerator",
+            )
+        values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
+        return QueryAnswer(
+            values=values, hit=True, key=recon.key, route="cache"
+        )
+
+    def _accel_table(
+        self, dataset: str, ds: _DatasetState, recon: Reconstruction, shape
+    ) -> AcceleratorTable:
+        """The (reconstruction, cube shape) summed-area table: in-memory
+        cache → registry (checksum-verified; corrupt or stale entries
+        come back ``None``) → build from x̂ and persist best-effort."""
+        k = (recon.key, shape)
+        table = ds.accel.get(k)
+        if table is None:
+            if self.registry is not None:
+                table = load_table(self.registry, dataset, recon, shape)
+            if table is None:
+                table = AcceleratorTable(recon.x_hat, shape)
+                if self.registry is not None:
+                    store_table(self.registry, dataset, recon, shape, table)
+            ds.accel[k] = table
+        return table
+
+    def _invalidate_tables(self, ds: _DatasetState, key: str) -> None:
+        """Drop in-memory tables of a replaced reconstruction.  Persisted
+        tables self-invalidate: they carry the x̂ content digest, so a
+        stale load is ignored and overwritten on the next eligible hit."""
+        for k in [k for k in ds.accel if k[0] == key]:
+            del ds.accel[k]
 
     def covering_key(self, dataset: str, q: Matrix | np.ndarray) -> str | None:
         """Fingerprint of the cached reconstruction that would answer ``q``
         for free, or ``None`` — the planner's free-hit probe.  Spends no
         budget and records nothing."""
-        recon = self._find_cover(self._dataset(dataset), _as_query_matrix(q))
-        return None if recon is None else recon.key
+        return self.probe_hit(dataset, q)[0]
+
+    def probe_hit(
+        self,
+        dataset: str,
+        q: Matrix | np.ndarray,
+        fingerprint: str | None = None,
+    ) -> tuple[str | None, str | None]:
+        """The planner's hit probe: ``(covering key, serving route)``.
+
+        ``(None, None)`` when no cached reconstruction spans ``q``; else
+        the reconstruction's key and the route :meth:`answer` would use
+        for it (``"accelerator"`` for box-decomposable queries,
+        ``"cache"`` otherwise) — keeping planned routes equal to executed
+        routes by construction.  ``fingerprint`` (from a compiled query)
+        memoizes the span projection across planning passes.  Spends no
+        budget and records nothing.
+        """
+        Q = _as_query_matrix(q)
+        recon = self._find_cover(
+            self._dataset(dataset), Q, fingerprint=fingerprint
+        )
+        if recon is None:
+            return None, None
+        route = "accelerator" if range_spec_of(Q) is not None else "cache"
+        return recon.key, route
 
     def cached_reconstruction(
         self, dataset: str, key: str
@@ -630,10 +776,7 @@ class QueryService:
         Q = _as_query_matrix(q)
         recon = self._find_cover(ds, Q)
         if recon is not None:
-            # Q @ x̂ via the implicit operator keeps structured queries
-            # (marginals, ranges) on their fast paths.
-            values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
-            return QueryAnswer(values=values, hit=True, key=recon.key)
+            return self._serve_hit(dataset, ds, Q, recon)
         if eps is None:
             raise QueryMiss(
                 f"no cached reconstruction of dataset {dataset!r} spans the "
@@ -714,6 +857,7 @@ class QueryService:
                 ds.reconstructions[key] = Reconstruction(
                     key=key, strategy=S, x_hat=x_hat, eps=charged
                 )
+                self._invalidate_tables(ds, key)
         return key, x_hat, charged
 
     def answer(
@@ -777,10 +921,7 @@ class QueryService:
         for i, Q in enumerate(mats):
             recon = self._find_cover(ds, Q)
             if recon is not None:
-                values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
-                answers[i] = QueryAnswer(
-                    values=values, hit=True, key=recon.key, route="cache"
-                )
+                answers[i] = self._serve_hit(dataset, ds, Q, recon)
             else:
                 miss_idx.append(i)
 

@@ -101,6 +101,10 @@ _QUARANTINE = "quarantine"
 #: digest is computed and backfilled on each entry's first load.
 _MANIFEST_VERSION = 2
 _ACCEPTED_VERSIONS = frozenset({1, _MANIFEST_VERSION})
+#: Accelerator tables live beside strategy npz files under this suffix
+#: and are tracked in the manifest's ``tables`` section (absent in
+#: pre-accelerator manifests — readers use ``.get("tables", {})``).
+_TABLE_SUFFIX = ".accel.npz"
 
 
 class RegistryCorruptionError(RuntimeError):
@@ -263,6 +267,10 @@ class StrategyRegistry:
         for name in sorted(os.listdir(self.root)):
             if not name.endswith(".npz") or ".tmp-" in name:
                 continue
+            if name.endswith(_TABLE_SUFFIX):
+                # Accelerator tables are not strategy entries; they are
+                # pure caches, rebuilt from x̂ whenever absent.
+                continue
             entries[name[:-4]] = {"file": name, "recovered": True}
         return {"version": _MANIFEST_VERSION, "entries": entries}
 
@@ -298,6 +306,45 @@ class StrategyRegistry:
 
     def _strategy_path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.npz")
+
+    def _table_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}{_TABLE_SUFFIX}")
+
+    def _write_npz(self, path: str, arrays: dict, site: str) -> str:
+        """Atomically write an npz and return its SHA-256.
+
+        The same temp → fsync → replace → dir-fsync dance as the
+        manifest, with the digest computed from the temp file *after*
+        the ``<site>.payload`` mangle point so injected bit flips are
+        visible to the checksum machinery exactly as silent on-disk
+        corruption would be.  A :class:`SimulatedCrash` leaves the temp
+        file behind, as a real kill would; read paths ignore ``*.tmp-*``.
+        """
+        tmp = f"{path[:-4]}.tmp-{os.getpid()}.npz"
+        try:
+            with open(tmp, "wb") as f:
+
+                def _write():
+                    faults.check(f"{site}.write")
+                    np.savez(f, **arrays)
+                    f.flush()
+
+                def _fsync():
+                    faults.check(f"{site}.fsync")
+                    os.fsync(f.fileno())
+
+                faults.retrying(_write, site=f"{site}.write")
+                faults.retrying(_fsync, site=f"{site}.fsync")
+            faults.mangle_file(f"{site}.payload", tmp)
+            digest = _file_sha256(tmp)
+            faults.check(f"{site}.replace")
+            os.replace(tmp, path)
+            _fsync_dir(self.root)
+        except Exception:
+            with contextlib.suppress(OSError):
+                os.remove(tmp)
+            raise
+        return digest
 
     # -- keys --------------------------------------------------------------
     def key_for(
@@ -344,43 +391,7 @@ class StrategyRegistry:
         can ever observe a strategy without the checksum that guards it.
         """
         key = self.key_for(workload, domain=domain, template=template)
-        solver = export_gram_solver_state(strategy)
-        payload = {
-            "strategy": matrix_to_config(strategy),
-            "solver": solver,
-        }
-        flat, arrays = flatten_arrays(payload)
-        path = self._strategy_path(key)
-        # np.savez writes into an open file object verbatim; the atomic
-        # temp → fsync → replace dance makes a concurrent load of the
-        # same key read either the old complete file or the new one.
-        tmp = f"{path[:-4]}.tmp-{os.getpid()}.npz"
-        # Cleanup on ordinary failures only: a SimulatedCrash is a stand-in
-        # for SIGKILL and must leave the tmp file behind exactly as a real
-        # crash would (read paths ignore ``*.tmp-*`` names).
-        try:
-            with open(tmp, "wb") as f:
-
-                def _write():
-                    faults.check("registry.npz.write")
-                    np.savez(f, __config__=json.dumps(flat), **arrays)
-                    f.flush()
-
-                def _fsync():
-                    faults.check("registry.npz.fsync")
-                    os.fsync(f.fileno())
-
-                faults.retrying(_write, site="registry.npz.write")
-                faults.retrying(_fsync, site="registry.npz.fsync")
-            faults.mangle_file("registry.npz.payload", tmp)
-            digest = _file_sha256(tmp)
-            faults.check("registry.npz.replace")
-            os.replace(tmp, path)
-            _fsync_dir(self.root)
-        except Exception:
-            with contextlib.suppress(OSError):
-                os.remove(tmp)
-            raise
+        digest, solver = self._write_strategy_npz(key, strategy)
 
         with self._locked():
             manifest = self._read_manifest()
@@ -402,6 +413,134 @@ class StrategyRegistry:
             }
             self._write_manifest(manifest)
         return key
+
+    def _write_strategy_npz(self, key: str, strategy: Matrix):
+        """Serialize strategy + solver state into ``<key>.npz`` atomically;
+        returns ``(sha256, exported_solver_state)``."""
+        solver = export_gram_solver_state(strategy)
+        payload = {
+            "strategy": matrix_to_config(strategy),
+            "solver": solver,
+        }
+        flat, arrays = flatten_arrays(payload)
+        # np.savez writes into an open file object verbatim; the atomic
+        # temp → fsync → replace dance makes a concurrent load of the
+        # same key read either the old complete file or the new one.
+        digest = self._write_npz(
+            self._strategy_path(key),
+            {"__config__": json.dumps(flat), **arrays},
+            site="registry.npz",
+        )
+        # Record how many recycled Ritz vectors the entry now carries so
+        # the engine only rewrites the npz when the basis has grown.
+        rec = None if solver is None else solver.get("recycle_U")
+        strategy.cache_set(
+            "persisted_recycle_size",
+            0 if rec is None else int(np.asarray(rec).shape[1]),
+        )
+        return digest, solver
+
+    def refresh_solver_state(self, key: str, strategy: Matrix) -> bool:
+        """Re-persist an entry's npz with the strategy's *current* solver
+        state (factors, preconditioner, recycled Ritz basis).
+
+        Solver state accrues after ``put`` — most notably the Ritz
+        recycling basis, which is harvested during reconstruction, after
+        the strategy was registered.  This rewrites the npz in place
+        (atomically, checksum updated before the manifest flips) while
+        preserving the entry's fit metadata, so a fresh process warm
+        loads the strategy already deflated.  Returns ``False`` (no-op)
+        when the key is not registered.
+        """
+        if key not in self._read_manifest()["entries"]:
+            return False
+        digest, solver = self._write_strategy_npz(key, strategy)
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = manifest["entries"].get(key)
+            if entry is None:  # deleted concurrently; npz is orphaned
+                return False
+            entry["sha256"] = digest
+            entry["solver_state"] = bool(
+                solver
+                and ("factors" in solver or "precond_factors" in solver)
+            )
+            self._write_manifest(manifest)
+        return True
+
+    # -- accelerator tables ------------------------------------------------
+    def put_table(self, key: str, arrays: dict, meta: dict | None = None) -> str:
+        """Persist an accelerator table under ``key``.
+
+        Tables are derived caches, not sources of truth, but they still
+        get the full durability treatment (atomic write, manifest
+        sha256): a silently corrupted table would serve wrong answers
+        with real privacy budget behind them, exactly like a corrupted
+        strategy.  Fault sites: ``registry.table.{write,fsync,payload,
+        replace}`` and ``registry.table.load``.
+        """
+        digest = self._write_npz(
+            self._table_path(key), dict(arrays), site="registry.table"
+        )
+        with self._locked():
+            manifest = self._read_manifest()
+            tables = manifest.setdefault("tables", {})
+            tables[key] = {
+                "file": f"{key}{_TABLE_SUFFIX}",
+                "sha256": digest,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "metadata": meta or {},
+            }
+            self._write_manifest(manifest)
+        return key
+
+    def get_table(self, key: str) -> dict | None:
+        """Load a persisted accelerator table's arrays, or ``None``.
+
+        A checksum mismatch, torn zip, or missing file quarantines the
+        table and returns ``None`` — the caller rebuilds the table from
+        the cached reconstruction and re-persists it; corruption never
+        crashes serving and never produces wrong answers.
+        """
+        meta = self._read_manifest().get("tables", {}).get(key)
+        if meta is None:
+            return None
+        path = self._table_path(key)
+        try:
+            faults.check("registry.table.load")
+            digest = _file_sha256(path)
+            expected = meta.get("sha256")
+            if expected is not None and digest != expected:
+                raise RegistryCorruptionError(
+                    f"table {key!r} failed its checksum: manifest records "
+                    f"sha256 {expected[:16]}…, file has {digest[:16]}…"
+                )
+            with np.load(path, allow_pickle=False) as npz:
+                return {name: npz[name] for name in npz.files}
+        except Exception as e:  # checksum, torn zip, missing file
+            self._quarantine_table(key, f"{type(e).__name__}: {e}")
+            return None
+
+    def _quarantine_table(self, key: str, reason: str) -> None:
+        """Move a damaged table aside and forget it; the next eligible
+        hit rebuilds it from x̂."""
+        where = self._quarantine_file(f"{key}{_TABLE_SUFFIX}")
+        with self._locked():
+            manifest = self._read_manifest()
+            tables = manifest.get("tables", {})
+            if key in tables:
+                del tables[key]
+                manifest["tables"] = tables
+                self._write_manifest(manifest)
+        logger.warning(
+            "quarantined corrupted accelerator table %s (%s)%s",
+            key,
+            reason,
+            "" if where is None else f" -> {where}",
+        )
+
+    def table_keys(self) -> list[str]:
+        return sorted(self._read_manifest().get("tables", {}))
 
     def quarantine(self, key: str, reason: str) -> None:
         """Move a damaged entry aside and drop it from the manifest.
@@ -459,6 +598,13 @@ class StrategyRegistry:
                 )
             strategy = matrix_from_config(payload["strategy"])
             restore_gram_solver_state(strategy, payload["solver"])
+            # Stamp how many recycled Ritz vectors the entry carries so
+            # the engine can tell when the in-memory basis has outgrown
+            # the persisted one and is worth re-persisting.
+            rec = strategy.cache_get("gram_recycle_state")
+            strategy.cache_set(
+                "persisted_recycle_size", 0 if rec is None else rec.size
+            )
         except RegistryCorruptionError as e:
             self.quarantine(key, str(e))
             raise

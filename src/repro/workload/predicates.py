@@ -236,3 +236,31 @@ def all_range_predicates(n: int) -> list[Predicate]:
 def total_predicates() -> list[Predicate]:
     """The ``Total`` predicate set: the single always-true predicate."""
     return [TruePredicate()]
+
+
+def bucket_predicates(intervals: Iterable) -> list[Predicate]:
+    """An arbitrary per-attribute bucketization: one predicate per bucket.
+
+    Each bucket is an inclusive integer interval ``(lo, hi)`` (a bare
+    scalar is the singleton bucket ``(v, v)``).  Buckets may overlap,
+    nest, or leave gaps — any interval set is a valid predicate set, so
+    custom age bands, income brackets, or top-coded tails compile
+    directly through :func:`vectorize_set` without detouring through
+    ``workload.logical``.  Every bucket row is an interval indicator,
+    which keeps the whole set accelerator-eligible (one summed-area
+    gather per bucket).
+    """
+    preds: list[Predicate] = []
+    for iv in intervals:
+        if isinstance(iv, (tuple, list)):
+            if len(iv) != 2:
+                raise ValueError(
+                    f"bucket {iv!r} must be a (lo, hi) pair or a scalar"
+                )
+            lo, hi = int(iv[0]), int(iv[1])
+        else:
+            lo = hi = int(iv)
+        preds.append(Equals(lo) if lo == hi else Range(lo, hi))
+    if not preds:
+        raise ValueError("bucketization needs at least one bucket")
+    return preds

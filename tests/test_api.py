@@ -248,7 +248,9 @@ class TestPlanner:
         assert plan.total_epsilon == 0.5
         ds.ask_many(exprs, eps=0.5, rng=1)
         plan2 = ds.plan(exprs, eps=0.5)
-        assert [e.route for e in plan2.entries] == ["cache"]
+        # marginals/prefixes are box-decomposable, so the free hits ride
+        # the summed-area accelerator (first route in the table).
+        assert [e.route for e in plan2.entries] == ["accelerator"]
         assert plan2.total_epsilon == 0.0
         assert plan2.free_fraction == 1.0
 
@@ -400,7 +402,9 @@ class TestSessionFacade:
         assert miss.route == "direct" and not miss.span_projected
         assert miss.epsilon == pytest.approx(0.5)
         hit = ds.ask(A("age").eq(2))
-        assert hit.route == "cache" and hit.span_projected
+        # A point query is a one-box gather: the free hit rides the
+        # accelerator, still zero-budget and from the same measurement.
+        assert hit.route == "accelerator" and hit.span_projected
         assert hit.epsilon == 0.0 and hit.key == miss.key
         assert hit.value == pytest.approx(miss.value)
 
