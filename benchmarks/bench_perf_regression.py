@@ -54,6 +54,13 @@ regress against it:
   amortized costs the route pays once per reconstruction: table build,
   persist, and checksummed reload.
 
+* **observability** (PR 8) — the telemetry tax: the instrumented
+  free-hit serve with metrics and tracing *disabled* vs a replica of the
+  uninstrumented hit loop (must stay within 3%), plus the recorded price
+  of enabling the full span tree + labelled counters per request, and
+  structural checks that an enabled batch yields a complete trace and
+  exact ``service.answers_total`` counts.
+
 * **durability** (PR 6) — the crash-consistency tax: per-debit overhead
   of the fsync'd write-ahead ε-ledger vs the in-memory accountant,
   replay rate of :meth:`PrivacyAccountant.recover` (with a torn-tail
@@ -778,6 +785,125 @@ def bench_durability(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_observability(
+    shape: tuple = (64, 64), batch: int = 64, rounds: int = 7
+) -> dict:
+    """Observability tax on the free-hit path.
+
+    The hard contract is the **disabled** state: with metrics and tracing
+    off, the instrumented batch serve must stay within 3% of a replica of
+    the pre-instrumentation hit loop (same ``_find_cover`` +
+    ``_serve_hit`` calls, no obs plumbing).  The **enabled** numbers are
+    the price of turning the feature on — a full span tree and labelled
+    counters per request — recorded for trend-watching, not bounded.
+    """
+    from repro import obs
+    from repro.linalg import Kronecker, Ones
+    from repro.service import QueryService
+    from repro.service.engine import (
+        BatchResult,
+        Reconstruction,
+        _as_query_matrix,
+    )
+
+    n = int(np.prod(shape))
+    svc = QueryService()  # no accountant: this path must never charge
+    rng = np.random.default_rng(9)
+    svc.add_dataset("bench", rng.poisson(40, n).astype(float))
+    strategy = Kronecker([Identity(s) for s in shape])
+    x_hat = rng.normal(size=n)
+    svc._datasets["bench"].reconstructions["k"] = Reconstruction(
+        key="k", strategy=strategy, x_hat=x_hat, eps=1.0
+    )
+    # Pre-built box queries (accelerator route), reused across reps so
+    # range-spec memos and gather plans stay warm like real traffic.
+    ones = [Ones(1, s) for s in shape[1:]]
+    mats = []
+    for i in range(batch):
+        row = np.zeros(shape[0])
+        lo = (i * 3) % (shape[0] - 4)
+        row[lo : lo + 4] = 1.0
+        mats.append(Kronecker([Dense(row[None, :])] + ones))
+
+    def replica():
+        # The answer() free-hit path exactly as it was before the obs
+        # instrumentation landed: validate, scan for covers, serve hits.
+        ds = svc._dataset("bench")
+        qs = [_as_query_matrix(q) for q in mats]
+        for Q in qs:
+            assert Q.shape[1] == n
+        answers = [None] * len(qs)
+        miss = []
+        for i, Q in enumerate(qs):
+            recon = svc._find_cover(ds, Q)
+            if recon is not None:
+                answers[i] = svc._serve_hit("bench", ds, Q, recon)
+            else:
+                miss.append(i)
+        return BatchResult(
+            answers=answers, charged=0.0, hits=len(qs) - len(miss),
+            misses=len(miss),
+        )
+
+    try:
+        obs.disable()
+        obs.reset()
+        svc.answer("bench", mats)  # build + warm the accelerator tables
+        t_base = t_off = float("inf")
+        for _ in range(rounds):  # interleaved: drift hits both equally
+            t_base = min(t_base, _timed(replica))
+            t_off = min(t_off, _timed(lambda: svc.answer("bench", mats)))
+        obs.enable()
+        svc.answer("bench", mats)  # warm the enabled path once
+        t_on = min(
+            _timed(lambda: svc.answer("bench", mats)) for _ in range(rounds)
+        )
+        result = svc.answer("bench", mats)
+        spans = obs.get_trace(result.trace_id) or []
+        span_names = {sp.name for sp in spans}
+        snap = obs.REGISTRY.snapshot()
+        series = snap.get("service.answers_total", {}).get("series", [])
+        counted = sum(
+            s["value"]
+            for s in series
+            if s["labels"] == {"dataset": "bench", "route": "accelerator"}
+        )
+
+        q1 = mats[0]
+        obs.disable()
+        t_q_off = min(
+            _timed(lambda: svc.query("bench", q1)) for _ in range(rounds)
+        )
+        obs.enable()
+        t_q_on = min(
+            _timed(lambda: svc.query("bench", q1)) for _ in range(rounds)
+        )
+    finally:
+        obs.disable()
+        obs.reset()
+
+    per_q = 1e6 / batch
+    return {
+        "domain_shape": list(shape),
+        "domain": n,
+        "batch": batch,
+        "baseline_us_per_query": round(t_base * per_q, 3),
+        "disabled_us_per_query": round(t_off * per_q, 3),
+        "overhead_disabled_pct": round((t_off / t_base - 1.0) * 100, 2),
+        "enabled_us_per_query": round(t_on * per_q, 3),
+        "overhead_enabled_pct": round((t_on / t_base - 1.0) * 100, 2),
+        "single_query_disabled_us": round(t_q_off * 1e6, 2),
+        "single_query_enabled_us": round(t_q_on * 1e6, 2),
+        "trace_spans_per_batch": len(spans),
+        "trace_complete": bool(
+            {"service.answer", "serve.hits"} <= span_names
+        ),
+        "answers_counted": int(counted),
+        # enabled answer() calls: 1 warm + `rounds` timed + 1 traced.
+        "answers_counter_correct": bool(counted == (rounds + 2) * batch),
+    }
+
+
 def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> dict:
     if restarts is None:
         restarts = 2 if quick else 25
@@ -810,6 +936,10 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
             n=16 if quick else 32,
             restarts=1 if quick else 2,
             reps=3 if quick else 5),
+        "observability": bench_observability(
+            shape=(32, 32) if quick else (64, 64),
+            batch=16 if quick else 64,
+            rounds=5 if quick else 7),
     }
     return results
 
@@ -957,6 +1087,19 @@ def main() -> None:
             f"checksum {d['checksum_fraction_of_warm_load']:.0%} of load",
         ],
     ]
+    ob = results["observability"]
+    rows += [
+        [
+            f"obs free hit, obs off ({ob['batch']}q batch)",
+            f"{ob['disabled_us_per_query']:.1f}us/q",
+            f"{ob['overhead_disabled_pct']:+.2f}% vs uninstrumented",
+        ],
+        [
+            "obs free hit, metrics+trace on",
+            f"{ob['enabled_us_per_query']:.1f}us/q",
+            f"{ob['overhead_enabled_pct']:+.1f}% (full span tree + counters)",
+        ],
+    ]
     print_table(
         f"Perf regression ({'quick' if results['quick'] else 'full'}; "
         f"restarts={h['restarts']})",
@@ -989,6 +1132,11 @@ def main() -> None:
     print(
         "durability recovery state exact / torn tail truncated: "
         f"{d['recovery_state_exact']} / {d['torn_tail_truncated']}"
+    )
+    print(
+        "observability trace complete / answer counters correct: "
+        f"{ob['trace_complete']} / {ob['answers_counter_correct']} "
+        f"(disabled overhead {ob['overhead_disabled_pct']:+.2f}%)"
     )
     regression = check_serving_regression(results, args.json)
     if regression:
@@ -1110,6 +1258,26 @@ def test_bench_serving_smoke():
         recorded = json.load(f)
     assert recorded["serving"]["speedup_vs_seed_loop"] >= 3.0
     assert recorded["serving"]["answers_bit_identical"]
+
+
+def test_bench_observability_smoke():
+    """Quick observability case: the instrumentation must be free while
+    disabled (< 3% on the batched free-hit path — asserted strictly on
+    the committed full-size record; the live quick run uses 16-query
+    batches where a few µs of timer jitter is tens of percent, so its
+    bound only catches gross regressions), and while enabled every batch
+    must produce a complete trace and exact answer counters."""
+    ob = bench_observability(shape=(32, 32), batch=16, rounds=5)
+    assert ob["overhead_disabled_pct"] < 30.0
+    assert ob["trace_complete"]
+    assert ob["answers_counter_correct"]
+    # The committed trajectory must already carry an observability record
+    # within the bound, so this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    rec = recorded["observability"]
+    assert rec["overhead_disabled_pct"] < 3.0
+    assert rec["trace_complete"] and rec["answers_counter_correct"]
 
 
 def test_bench_durability_smoke():

@@ -22,7 +22,11 @@ The declarative layer (`repro.api`) puts those facts behind a planner:
    one answer and one debit, and everything inside a measured span is
    free;
 4. a request that would blow the dataset's ε cap is refused before any
-   noise is drawn.
+   noise is drawn;
+5. with `repro.obs` enabled, every answer carries a trace ID resolvable
+   to the full span tree, the metrics registry counts answers by
+   dataset × route, and `sess.budget_report()` renders the ε position
+   replayed from the accountant's ledger.
 
 `matrix_level_demo` keeps the physical `QueryService` flow (hand-built
 implicit matrices) — the layer the planner compiles down to.
@@ -35,6 +39,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from repro import workload
 from repro.api import A, Schema, Session, buckets, marginal, total
 from repro.service import (
@@ -130,6 +135,42 @@ def declarative_demo(registry_dir: str) -> None:
     except BudgetExceededError as e:
         print(f"over-cap request refused: {e}")
     print(f"ledger: spent {ds.spent:g} / cap {EPS_CAP:g}\n")
+
+    observability_demo(sess, ds)
+
+
+def observability_demo(sess: Session, ds) -> None:
+    print("=" * 64)
+    print("Observability: traces, metrics, and the ε-spend report")
+    print("=" * 64)
+    # Everything above ran uninstrumented (the default: the disabled
+    # layer costs an attribute check per call site).  Flip it on and the
+    # same session starts producing traces and counters.
+    obs.enable()
+    try:
+        answers = ds.ask_many(
+            [marginal("x"), total(), A("y").between(0, 7)], eps=None
+        )
+        tid = answers[0].trace_id
+        print(f"trace {tid} for a 3-expression batch:")
+        for sp in obs.get_trace(tid):
+            indent = "    " if sp.parent_id is not None else "  "
+            attrs = f"  {sp.attrs}" if sp.attrs else ""
+            print(f"{indent}{sp.name:<16} {sp.duration_ms:8.3f}ms{attrs}")
+        print()
+
+        print("ε-spend report replayed from the accountant's ledger:")
+        print(sess.budget_report().render())
+        print()
+
+        print("Prometheus exposition (service counters):")
+        for line in obs.render_text().splitlines():
+            if line.startswith(("service_answers_total", "# TYPE service_")):
+                print(f"  {line}")
+    finally:
+        obs.disable()
+        obs.reset()
+    print()
 
 
 def matrix_level_demo(registry_dir: str) -> None:

@@ -38,6 +38,8 @@ import numpy as np
 
 from ..core.error import rootmse
 from ..linalg import Matrix, VStack
+from ..obs.metrics import REGISTRY as _METRICS
+from ..obs.trace import TRACER as _TRACER
 from ..service.accelerator import range_spec_of
 from ..service.engine import QueryService
 from ..service.fingerprint import workload_fingerprint
@@ -222,23 +224,50 @@ class Plan:
         ) / len(self.batch.index_map)
 
     def explain(self) -> str:
-        """A routing table, one line per group."""
-        lines = [
+        """A human-readable routing table, one aligned row per group:
+        route, group size, exact ε debit, expected per-query RMSE (where
+        the error algebra covers the pairing), covering strategy key."""
+        head = (
             f"Plan for dataset {self.dataset!r}: "
             f"{len(self.batch.index_map)} expressions, "
             f"{len(self.batch.queries)} distinct, "
             f"estimated ε = {self.total_epsilon:g}"
+        )
+        header = ["route", "queries", "rows", "ε", "rmse≈", "key", "detail"]
+        rows = [
+            [
+                e.route,
+                str(len(e.indices)),
+                str(e.rows),
+                f"{e.epsilon:g}" if e.epsilon is not None else "required",
+                (
+                    f"{e.expected_rmse:.3g}"
+                    if e.expected_rmse is not None
+                    else "—"
+                ),
+                f"{e.key[:12]}…" if e.key else "—",
+                e.detail or "—",
+            ]
+            for e in self.entries
         ]
-        for e in self.entries:
-            rmse = f"{e.expected_rmse:.3g}" if e.expected_rmse is not None else "—"
-            key = f"{e.key[:12]}…" if e.key else "—"
-            eps = f"{e.epsilon:g}" if e.epsilon is not None else "required"
-            lines.append(
-                f"  [{e.route:>6}] {len(e.indices):>4} queries "
-                f"({e.rows:>5} rows)  ε={eps}  rmse≈{rmse}  "
-                f"key={key}"
-                + (f"  ({e.detail})" if e.detail else "")
-            )
+        widths = [
+            max(len(header[j]), *(len(r[j]) for r in rows), 0)
+            if rows
+            else len(header[j])
+            for j in range(len(header))
+        ]
+
+        def fmt(row: list[str]) -> str:
+            # Left-align text columns (route, key, detail), right-align
+            # the numeric ones.
+            cells = [
+                row[j].ljust(widths[j]) if j in (0, 5, 6) else row[j].rjust(widths[j])
+                for j in range(len(header))
+            ]
+            return "  " + "  ".join(cells).rstrip()
+
+        lines = [head, fmt(header), "  " + "  ".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in rows)
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -279,6 +308,29 @@ def plan_queries(
     direct-path thresholds — so the plan's routes and ε estimates are
     what execution will do, not a guess.
     """
+    with _TRACER.span(
+        "plan.route", dataset=dataset, queries=len(batch.queries)
+    ):
+        plan = _plan_queries_impl(service, dataset, batch, eps)
+    if _METRICS.enabled:
+        _METRICS.counter("planner.plans_total", dataset=dataset).inc()
+        for e in plan.entries:
+            _METRICS.counter(
+                "planner.routed_queries_total", dataset=dataset, route=e.route
+            ).inc(len(e.indices))
+            if e.expected_rmse is not None:
+                _METRICS.gauge(
+                    "planner.expected_rmse", dataset=dataset, route=e.route
+                ).set(e.expected_rmse)
+    return plan
+
+
+def _plan_queries_impl(
+    service: QueryService,
+    dataset: str,
+    batch: CompiledBatch,
+    eps: float | None = None,
+) -> Plan:
     plan = Plan(dataset=dataset, batch=batch, eps=eps)
     if not batch.queries:
         return plan

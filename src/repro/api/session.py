@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..domain import SchemaMismatchError
+from ..obs.trace import TRACER as _TRACER
 from ..service.accountant import PrivacyAccountant
 from ..service.engine import QueryService
 from ..service.registry import StrategyRegistry
@@ -71,6 +72,9 @@ class Answer:
     epsilon: float
     span_projected: bool
     remaining: float = float("inf")
+    #: Trace this answer was served under (None when tracing is off) —
+    #: resolvable to the full span tree via ``repro.obs.get_trace``.
+    trace_id: str | None = None
 
     @property
     def value(self) -> float:
@@ -164,17 +168,23 @@ class Dataset:
         exprs = list(exprs)
         if not exprs:
             return []
-        batch = self.compile_many(exprs)
-        # No separate planning pass: answer() makes (and reports, via
-        # QueryAnswer.route) the same routing decisions a Plan predicts,
-        # so execution does the span checks and probes exactly once.
-        result = self.session.service.answer(
-            self.name,
-            [cq.matrix for cq in batch.queries],
-            eps=eps,
-            rng=rng,
-            **run_kwargs,
-        )
+        with _TRACER.span(
+            "session.ask", dataset=self.name, expressions=len(exprs)
+        ):
+            with _TRACER.span("plan.compile"):
+                batch = self.compile_many(exprs)
+            # No separate planning pass: answer() makes (and reports, via
+            # QueryAnswer.route) the same routing decisions a Plan
+            # predicts, so execution does the span checks and probes
+            # exactly once.
+            result = self.session.service.answer(
+                self.name,
+                [cq.matrix for cq in batch.queries],
+                eps=eps,
+                rng=rng,
+                **run_kwargs,
+            )
+            trace_id = _TRACER.current_trace_id()
         acct = self.session.service.accountant
         remaining = float("inf") if acct is None else acct.remaining(self.name)
         out: list[Answer] = []
@@ -189,6 +199,7 @@ class Dataset:
                     epsilon=0.0 if qa.hit else result.charged,
                     span_projected=bool(qa.hit),
                     remaining=remaining,
+                    trace_id=trace_id,
                 )
             )
         return out
@@ -285,6 +296,24 @@ class Session:
 
     def datasets(self) -> list[str]:
         return sorted(self._datasets)
+
+    def budget_report(self):
+        """The ε-spend view of this session's accountant: per-dataset
+        spend/cap/remaining plus the debit timeline, reconstructed from
+        the accountant's committed WAL records
+        (:class:`repro.obs.spend.SpendReport`).  Raises
+        :class:`ValueError` when the session runs without an accountant —
+        there is no budget to report on.
+        """
+        from ..obs.spend import report_from_accountant
+
+        acct = self.service.accountant
+        if acct is None:
+            raise ValueError(
+                "session has no accountant: budget reporting needs the "
+                "ε ledger an accountant maintains"
+            )
+        return report_from_accountant(acct)
 
     def __repr__(self) -> str:
         return f"Session(datasets={self.datasets()}, service={self.service!r})"

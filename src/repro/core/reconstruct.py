@@ -30,6 +30,7 @@ import numpy as np
 from scipy.sparse.linalg import LinearOperator, lsmr
 
 from ..linalg import Kronecker, MarginalsStrategy, Matrix, VStack, Weighted
+from ..obs.metrics import REGISTRY as _METRICS
 from ..optimize.opt0 import PIdentity
 from .solvers import (
     apply_columnwise as _apply_columnwise,
@@ -276,9 +277,12 @@ def least_squares(
     )
     X = result.x
     if not result.converged.all():
-        _lsmr_columns(
-            A, Y, X, np.flatnonzero(~result.converged), atol, btol, maxiter, X
-        )
+        cols = np.flatnonzero(~result.converged)
+        if _METRICS.enabled:
+            _METRICS.counter("solver.lsmr_fallback_columns_total").inc(
+                int(cols.size)
+            )
+        _lsmr_columns(A, Y, X, cols, atol, btol, maxiter, X)
     return X[:, 0] if single else X
 
 

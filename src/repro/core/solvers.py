@@ -66,6 +66,7 @@ import numpy as np
 
 from ..linalg import Diagonal, Kronecker, Matrix, VStack, Weighted
 from ..linalg.base import Dense
+from ..obs.metrics import REGISTRY as _METRICS
 
 __all__ = [
     "CGResult",
@@ -981,4 +982,10 @@ def cg_gram_solve(
     converged = np.sqrt(rs) <= thresh
     if harvester is not None:
         recycle.absorb(G, harvester.ritz_vectors(), columnwise)
+    if _METRICS.enabled:
+        _METRICS.counter("solver.cg_solves_total").inc()
+        _METRICS.counter("solver.cg_iterations").inc(int(iterations.sum()))
+        stalled = int(converged.size - int(converged.sum()))
+        if stalled:
+            _METRICS.counter("solver.cg_unconverged_columns_total").inc(stalled)
     return CGResult(X, iterations, converged)

@@ -1,0 +1,122 @@
+"""Zero-dependency observability for the serving stack.
+
+Three coordinated pieces (all off by default, all process-wide):
+
+* :mod:`repro.obs.metrics` — a lock-protected, label-keyed registry of
+  counters, gauges, and fixed-bucket histograms with a ``snapshot()``
+  dict and a Prometheus-style ``render_text()``;
+* :mod:`repro.obs.trace` — per-request span trees with trace IDs stamped
+  onto answer provenance, an in-memory ring of finished traces, and an
+  optional JSONL sink in the ε-ledger's checksummed record format;
+* :mod:`repro.obs.spend` — a read-only replay of the accountant's WAL
+  into a per-dataset spend timeline (also ``python -m repro.obs.spend``).
+
+Typical use::
+
+    import repro.obs as obs
+
+    obs.enable()                      # metrics + tracing on
+    answers = ds.ask_many(exprs, eps=0.5)
+    obs.get_trace(answers[0].trace_id)   # the full span tree
+    print(obs.render_text())             # Prometheus exposition
+    print(sess.budget_report().render()) # ε position per dataset
+
+Disabled, every instrumented call site degrades to an attribute check
+or a shared null object — the ``observability`` benchmark scenario in
+``benchmarks/bench_perf_regression.py`` enforces < 3% overhead on the
+disabled free-hit serving path (enabled, you pay for what you get: a
+full span tree and labelled counters per request, recorded by the same
+benchmark).
+"""
+
+from __future__ import annotations
+
+from .events import emit
+from .metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    render_text,
+    snapshot,
+)
+from .trace import (
+    TRACER,
+    JsonlTraceSink,
+    Span,
+    Tracer,
+    current_trace_id,
+    get_trace,
+    read_trace_log,
+    span,
+)
+__all__ = [
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "counter",
+    "current_trace_id",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_trace",
+    "histogram",
+    "render_text",
+    "reset",
+    "snapshot",
+    "span",
+    "spend",
+]
+
+
+def enable(
+    metrics: bool = True,
+    trace: bool = True,
+    sink: "str | JsonlTraceSink | None" = None,
+) -> None:
+    """Turn observability on process-wide.
+
+    ``sink`` (a path or a :class:`JsonlTraceSink`) additionally streams
+    finished traces to a checksummed JSONL log.
+    """
+    if metrics:
+        REGISTRY.enable()
+    if trace:
+        TRACER.enable()
+    if sink is not None:
+        TRACER.sink = (
+            sink if isinstance(sink, JsonlTraceSink) else JsonlTraceSink(sink)
+        )
+
+
+def disable() -> None:
+    """Turn metrics and tracing off (recorded state is kept)."""
+    REGISTRY.disable()
+    TRACER.disable()
+    TRACER.sink = None
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled or TRACER.enabled
+
+
+def reset() -> None:
+    """Drop all recorded metrics and traces (tests/benchmarks)."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.obs.spend` doesn't import the module twice
+    # (once as the package attribute, once as __main__ — runpy warns).
+    if name == "spend":
+        from . import spend
+
+        return spend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Structured observability events over the stdlib ``logging`` tree.
+
+The service's noteworthy-but-rare occurrences (a quarantined registry
+entry, a refused debit, a torn WAL tail) were ad-hoc ``logger.warning``
+calls with hand-formatted messages.  :func:`emit` gives them one shape:
+a stable event name followed by the event's fields as canonical JSON —
+grep-able, parse-able, and counted in the metrics registry
+(``obs.events_total{event=...}``) so a dashboard can alert on rates
+without scraping log text.
+
+    emit(logger, "registry.entry_quarantined",
+         key=key, reason=reason, quarantined_to=where)
+
+logs ``registry.entry_quarantined {"key": ..., "quarantined_to": ...,
+"reason": ...}`` at WARNING through the module's own logger, so existing
+``logging`` configuration (handlers, levels, capture in tests) keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from .metrics import REGISTRY
+
+__all__ = ["emit"]
+
+
+def emit(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.WARNING,
+    **fields,
+) -> None:
+    """Log one structured event and count it.
+
+    ``fields`` must be JSON-representable or stringable; they are
+    serialized canonically (sorted keys) so identical events produce
+    identical lines.
+    """
+    if REGISTRY.enabled:
+        REGISTRY.counter("obs.events_total", event=event).inc()
+    logger.log(
+        level,
+        "%s %s",
+        event,
+        json.dumps(fields, sort_keys=True, default=str),
+    )

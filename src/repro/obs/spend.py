@@ -1,0 +1,261 @@
+"""ε-spend observability: replay a WAL ledger into a budget report.
+
+The accountant's write-ahead ledger (:mod:`repro.service.ledger`) is the
+authoritative record of every privacy debit, but reading it meant
+constructing a :class:`~repro.service.accountant.PrivacyAccountant` —
+which takes the file lock and *physically truncates* a torn tail.  This
+module is the read-only view: :func:`replay` parses the committed record
+prefix without locking or mutating anything and folds it with **exactly
+the arithmetic** ``PrivacyAccountant._apply_records`` uses (same float
+additions in the same order), so the report's per-dataset totals are
+bit-equal to what :meth:`PrivacyAccountant.recover` would compute from
+the same ledger.
+
+Three entry points:
+
+* :func:`replay` — ``SpendReport`` from a ledger path;
+* :func:`report_from_accountant` — the same report from a live
+  accountant's in-memory state (used by ``Session.budget_report()``);
+* the CLI: ``python -m repro.obs.spend <ledger> [--json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DatasetSpend",
+    "SpendEvent",
+    "SpendReport",
+    "main",
+    "replay",
+    "report_from_accountant",
+]
+
+
+@dataclass
+class SpendEvent:
+    """One committed debit, with the running total after it applied."""
+
+    seq: int  # 0-based position among the ledger's debit records
+    dataset: str
+    epsilon: float
+    composition: str
+    stage: str
+    cumulative: float  # dataset spend right after this debit
+
+
+@dataclass
+class DatasetSpend:
+    """Per-dataset budget position replayed from the ledger."""
+
+    dataset: str
+    cap: float | None  # None: no register record and no default cap
+    spent: float = 0.0
+    debits: int = 0
+    last_stage: str = ""
+
+    @property
+    def remaining(self) -> float:
+        if self.cap is None:
+            return float("inf")
+        return max(0.0, self.cap - self.spent)
+
+
+@dataclass
+class SpendReport:
+    """The replayed ledger: per-dataset totals plus the debit timeline."""
+
+    source: str
+    datasets: dict[str, DatasetSpend] = field(default_factory=dict)
+    timeline: list[SpendEvent] = field(default_factory=list)
+    records: int = 0  # committed records replayed (registers + debits)
+    torn: bool = False  # a torn/corrupt tail was detected (and ignored)
+
+    def spent(self, dataset: str) -> float:
+        ds = self.datasets.get(dataset)
+        return 0.0 if ds is None else ds.spent
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "records": self.records,
+            "torn_tail": self.torn,
+            "datasets": {
+                name: {
+                    "cap": ds.cap,
+                    "spent": ds.spent,
+                    "remaining": (
+                        None if ds.cap is None else ds.remaining
+                    ),
+                    "debits": ds.debits,
+                    "last_stage": ds.last_stage,
+                }
+                for name, ds in sorted(self.datasets.items())
+            },
+            "timeline": [
+                {
+                    "seq": e.seq,
+                    "dataset": e.dataset,
+                    "epsilon": e.epsilon,
+                    "composition": e.composition,
+                    "stage": e.stage,
+                    "cumulative": e.cumulative,
+                }
+                for e in self.timeline
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-dataset budget table."""
+        head = (
+            f"ε-spend report — {self.source} "
+            f"({self.records} committed records"
+            + (", torn tail detected" if self.torn else "")
+            + ")"
+        )
+        if not self.datasets:
+            return head + "\n  (no datasets)"
+        rows = [
+            (
+                name,
+                f"{ds.spent:g}",
+                "∞" if ds.cap is None else f"{ds.cap:g}",
+                "∞" if ds.cap is None else f"{ds.remaining:g}",
+                str(ds.debits),
+                ds.last_stage or "—",
+            )
+            for name, ds in sorted(self.datasets.items())
+        ]
+        cols = ["dataset", "spent", "cap", "remaining", "debits", "last stage"]
+        widths = [
+            max(len(cols[j]), *(len(r[j]) for r in rows))
+            for j in range(len(cols))
+        ]
+        lines = [head, "  " + "  ".join(c.ljust(w) for c, w in zip(cols, widths))]
+        for r in rows:
+            lines.append("  " + "  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+def _fold(records, default_cap: float | None, report: SpendReport) -> None:
+    """Apply committed records in order — the same float arithmetic as
+    ``PrivacyAccountant._apply_records``, so totals are bit-equal to a
+    recovery replay of the same ledger."""
+    seq = 0
+    for r in records:
+        kind = r.get("kind")
+        if kind == "register":
+            name = r["dataset"]
+            ds = report.datasets.setdefault(name, DatasetSpend(name, None))
+            ds.cap = float(r["cap"])
+        elif kind == "debit":
+            name = r["dataset"]
+            ds = report.datasets.get(name)
+            if ds is None:
+                ds = report.datasets[name] = DatasetSpend(name, default_cap)
+            ds.spent = ds.spent + float(r["epsilon"])
+            ds.debits += 1
+            ds.last_stage = r.get("stage", "")
+            report.timeline.append(
+                SpendEvent(
+                    seq=seq,
+                    dataset=name,
+                    epsilon=float(r["epsilon"]),
+                    composition=r.get("composition", "sequential"),
+                    stage=r.get("stage", ""),
+                    cumulative=ds.spent,
+                )
+            )
+            seq += 1
+        report.records += 1
+
+
+def replay(path: str, default_cap: float | None = None) -> SpendReport:
+    """Read-only replay of a ledger's committed prefix.
+
+    Unlike :meth:`PrivacyAccountant.recover`, this takes no lock and
+    never truncates: a torn tail is reported (``report.torn``) but left
+    on disk for the next locking writer to clean up.
+    """
+    from ..service.ledger import WriteAheadLedger
+
+    ledger = WriteAheadLedger(path)
+    report = SpendReport(source=os.path.abspath(path))
+    _fold(ledger.read_new(), default_cap, report)
+    report.torn = ledger.torn_offset is not None
+    return report
+
+
+def report_from_accountant(accountant) -> SpendReport:
+    """The same report, from a live accountant's in-memory state.
+
+    Folds the accountant's replayed-plus-appended ledger entries (the
+    committed history it has observed) under its registered caps; totals
+    equal ``accountant.spent(...)`` for every dataset with a WAL — and
+    for memory-only accountants too, since both fold the same entries in
+    the same order.
+    """
+    accountant.sync()
+    report = SpendReport(source=accountant.wal_path or "<memory>")
+    for name in accountant.datasets():
+        report.datasets[name] = DatasetSpend(name, accountant.cap(name))
+        report.records += 1  # the (implied) register record
+    for seq, entry in enumerate(accountant.ledger):
+        ds = report.datasets.setdefault(
+            entry.dataset, DatasetSpend(entry.dataset, None)
+        )
+        ds.spent = ds.spent + entry.epsilon
+        ds.debits += 1
+        ds.last_stage = entry.stage
+        report.timeline.append(
+            SpendEvent(
+                seq=seq,
+                dataset=entry.dataset,
+                epsilon=entry.epsilon,
+                composition=entry.composition,
+                stage=entry.stage,
+                cumulative=ds.spent,
+            )
+        )
+        report.records += 1
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.spend",
+        description="Replay a write-ahead ε-ledger into a spend report "
+        "(read-only: no locking, no torn-tail truncation).",
+    )
+    parser.add_argument("ledger", help="path of the WAL ledger file")
+    parser.add_argument(
+        "--default-cap",
+        type=float,
+        default=None,
+        help="cap assumed for datasets the ledger debits but never "
+        "registers (mirrors PrivacyAccountant's default_cap)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report (datasets + timeline) as JSON",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.isfile(args.ledger):
+        print(f"error: no ledger file at {args.ledger}", file=sys.stderr)
+        return 2
+    report = replay(args.ledger, default_cap=args.default_cap)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,7 @@ from ..linalg import (
     Weighted,
 )
 from ..linalg.structured import Permuted, WidthRange
+from ..obs.events import emit as _emit
 
 __all__ = [
     "AcceleratorTable",
@@ -543,7 +544,10 @@ def store_table(registry, dataset: str, recon, shape, table: AcceleratorTable) -
             },
         )
     except OSError as e:
-        logger.warning(
-            "could not persist accelerator table for %s/%s: %s",
-            dataset, recon.key, e,
+        _emit(
+            logger,
+            "accelerator.persist_failed",
+            dataset=dataset,
+            key=recon.key,
+            reason=str(e),
         )

@@ -44,15 +44,19 @@ additionally thread-safe behind one re-entrant lock.
 from __future__ import annotations
 
 import contextlib
+import logging
 import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.solvers import validate_epsilon
+from ..obs.metrics import REGISTRY as _METRICS
 from .ledger import WriteAheadLedger
 
 __all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyAccountant"]
+
+logger = logging.getLogger(__name__)
 
 #: Relative slack on cap comparisons so float accumulation of a budget
 #: split into many exact shares never spuriously trips the cap.
@@ -132,8 +136,18 @@ class PrivacyAccountant:
         self._wal = None if wal_path is None else WriteAheadLedger(wal_path)
         if self._wal is not None:
             with self._wal.locked():
-                self._apply_records(self._wal.read_new())
-                self._wal.truncate_torn_tail()
+                records = self._wal.read_new()
+                self._apply_records(records)
+                dropped = self._wal.truncate_torn_tail()
+            if records:
+                logger.info(
+                    "recovered %d committed record(s) for %d dataset(s) "
+                    "from ledger %s%s",
+                    len(records),
+                    len(self._caps),
+                    self._wal.path,
+                    f" (dropped {dropped}-byte torn tail)" if dropped else "",
+                )
 
     @classmethod
     def recover(
@@ -291,7 +305,19 @@ class PrivacyAccountant:
         is fsync'd before the in-memory state moves, so the method returns
         only once the debit is durable — the caller draws noise after."""
         with self._transact():
-            self._check(dataset, amount, composition)
+            try:
+                self._check(dataset, amount, composition)
+            except BudgetExceededError as e:
+                logger.warning(
+                    "refused %s debit of %g on dataset %r: %g spent of "
+                    "cap %g (stage %r)",
+                    composition, amount, dataset, e.spent, e.cap, stage,
+                )
+                if _METRICS.enabled:
+                    _METRICS.counter(
+                        "accountant.refusals_total", dataset=dataset
+                    ).inc()
+                raise
             if self._wal is not None:
                 self._wal.append(
                     {
@@ -305,6 +331,15 @@ class PrivacyAccountant:
                 )
             self._spent[dataset] += amount
             self.ledger.append(LedgerEntry(dataset, amount, composition, stage))
+            if _METRICS.enabled:
+                _METRICS.counter(
+                    "accountant.epsilon_spent", dataset=dataset
+                ).inc(amount)
+                _METRICS.counter(
+                    "accountant.debits_total",
+                    dataset=dataset,
+                    composition=composition,
+                ).inc()
         return amount
 
     def charge(self, dataset: str, eps, stage: str = "") -> float:

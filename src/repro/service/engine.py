@@ -50,7 +50,10 @@ measurement.  The serving rules:
 
 from __future__ import annotations
 
+import logging
 import os
+import time
+from collections import Counter as _RouteCounter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,6 +79,10 @@ from .accelerator import (
 )
 from .accountant import PrivacyAccountant
 from .registry import StrategyRegistry
+from ..obs.metrics import REGISTRY as _METRICS
+from ..obs.trace import TRACER as _TRACER
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "BatchResult",
@@ -236,6 +243,8 @@ class ServeResult:
     charged: float
     loss: float | None
     from_registry: bool
+    #: Trace this measurement was recorded under (None when tracing off).
+    trace_id: str | None = None
 
 
 @dataclass
@@ -256,6 +265,8 @@ class QueryAnswer:
     hit: bool
     key: str | None = None
     route: str | None = None
+    #: Trace this answer was served under (None when tracing off).
+    trace_id: str | None = None
 
 
 @dataclass
@@ -285,6 +296,7 @@ class BatchResult:
     charged: float
     hits: int
     misses: int
+    trace_id: str | None = None
 
 
 @dataclass
@@ -473,8 +485,18 @@ class QueryService:
         if strategy is not None:
             return key, strategy, loss, True
         mech = HDMM(restarts=self.restarts, rng=self.rng)
-        mech.fit(workload, **self.fit_kwargs)
+        t0 = time.perf_counter()
+        with _TRACER.span("select.fit", key=key[:12]):
+            mech.fit(workload, **self.fit_kwargs)
         loss = mech.result.loss
+        logger.info(
+            "cold-fitted strategy %s in %.3fs (loss %s)",
+            key[:12],
+            time.perf_counter() - t0,
+            loss,
+        )
+        if _METRICS.enabled:
+            _METRICS.counter("service.cold_fits_total").inc()
         if self.registry is not None:
             self.registry.put(
                 workload,
@@ -515,6 +537,35 @@ class QueryService:
         higher-ε (more accurate) reconstruction for the same strategy is
         already cached, which is retained instead.
         """
+        with _TRACER.span("service.measure", dataset=dataset, stage=stage):
+            result = self._measure_impl(
+                dataset,
+                workload,
+                eps,
+                trials=trials,
+                rng=rng,
+                domain=domain,
+                stage=stage,
+                cache=cache,
+                **run_kwargs,
+            )
+            result.trace_id = _TRACER.current_trace_id()
+        if _METRICS.enabled:
+            _METRICS.counter("service.measures_total", dataset=dataset).inc()
+        return result
+
+    def _measure_impl(
+        self,
+        dataset: str,
+        workload,
+        eps: float | np.ndarray,
+        trials: int = 1,
+        rng: np.random.Generator | int | None = None,
+        domain: Domain | None = None,
+        stage: str = "",
+        cache: bool = True,
+        **run_kwargs,
+    ) -> ServeResult:
         ds = self._dataset(dataset)
         workload, domain = as_workload_matrix(workload, domain)
         eps_arr = np.atleast_1d(validate_epsilon(eps))
@@ -538,23 +589,30 @@ class QueryService:
                 )
             )
 
-        key, strategy, loss, from_registry = self.prepare(workload, domain=domain)
-        if self.accountant is not None:
-            self.accountant.charge(
-                dataset, total, stage=stage or f"measure:{key[:8]}"
+        with _TRACER.span("select.prepare"):
+            key, strategy, loss, from_registry = self.prepare(
+                workload, domain=domain
             )
+        if self.accountant is not None:
+            with _TRACER.span("accountant.charge", epsilon=total):
+                self.accountant.charge(
+                    dataset, total, stage=stage or f"measure:{key[:8]}"
+                )
 
         mech = HDMM(restarts=self.restarts, rng=self.rng)
         mech.workload = workload
         mech.strategy = strategy
-        answers, x_hat = mech.run_batch(
-            ds.x,
-            eps_arr,
-            trials=trials,
-            rng=rng,
-            return_data_vector=True,
-            **run_kwargs,
-        )
+        with _TRACER.span(
+            "measure.run_batch", grid=len(eps_arr), trials=trials
+        ):
+            answers, x_hat = mech.run_batch(
+                ds.x,
+                eps_arr,
+                trials=trials,
+                rng=rng,
+                return_data_vector=True,
+                **run_kwargs,
+            )
         if cache:
             best = int(np.argmax(eps_arr))
             existing = ds.reconstructions.get(key)
@@ -776,7 +834,28 @@ class QueryService:
         Q = _as_query_matrix(q)
         recon = self._find_cover(ds, Q)
         if recon is not None:
-            return self._serve_hit(dataset, ds, Q, recon)
+            track = _METRICS.enabled
+            if not track and not _TRACER.enabled:
+                return self._serve_hit(dataset, ds, Q, recon)
+            with _TRACER.span("service.query", dataset=dataset):
+                t0 = time.perf_counter() if track else 0.0
+                with _TRACER.span("serve.hit"):
+                    qa = self._serve_hit(dataset, ds, Q, recon)
+                if track:
+                    dt_ms = (time.perf_counter() - t0) * 1e3
+                    if qa.route == "accelerator":
+                        _METRICS.histogram(
+                            "accelerator.gather_ms", dataset=dataset
+                        ).observe(dt_ms)
+                    _METRICS.counter(
+                        "service.answers_total", dataset=dataset, route=qa.route
+                    ).inc()
+                    if qa.key is not None:
+                        _METRICS.counter(
+                            "service.support_hits", dataset=dataset, key=qa.key
+                        ).inc()
+                qa.trace_id = _TRACER.current_trace_id()
+            return qa
         if eps is None:
             raise QueryMiss(
                 f"no cached reconstruction of dataset {dataset!r} spans the "
@@ -916,14 +995,56 @@ class QueryService:
                     f"query over {Q.shape[1]} domain cells does not match "
                     f"dataset {dataset!r}, whose data vector has length {n}"
                 )
+        t0 = time.perf_counter() if _METRICS.enabled else 0.0
+        with _TRACER.span(
+            "service.answer", dataset=dataset, queries=len(mats)
+        ):
+            result = self._answer_impl(
+                dataset, ds, mats, eps, rng, stage, run_kwargs
+            )
+            tid = _TRACER.current_trace_id()
+        if tid is not None:
+            result.trace_id = tid
+            for qa in result.answers:
+                qa.trace_id = tid
+        if _METRICS.enabled:
+            by_route = _RouteCounter(
+                (qa.route, qa.key) for qa in result.answers
+            )
+            for (route, key), count in by_route.items():
+                _METRICS.counter(
+                    "service.answers_total", dataset=dataset, route=route
+                ).inc(count)
+                if key is not None and route in ("accelerator", "cache"):
+                    _METRICS.counter(
+                        "service.support_hits", dataset=dataset, key=key
+                    ).inc(count)
+            _METRICS.histogram("service.answer_ms", dataset=dataset).observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+        return result
+
+    def _answer_impl(
+        self,
+        dataset: str,
+        ds: _DatasetState,
+        mats: list[Matrix],
+        eps: float | None,
+        rng: np.random.Generator | int | None,
+        stage: str,
+        run_kwargs: dict,
+    ) -> BatchResult:
         answers: list[QueryAnswer | None] = [None] * len(mats)
         miss_idx: list[int] = []
-        for i, Q in enumerate(mats):
-            recon = self._find_cover(ds, Q)
-            if recon is not None:
-                answers[i] = self._serve_hit(dataset, ds, Q, recon)
-            else:
-                miss_idx.append(i)
+        with _TRACER.span("serve.hits") as hits_span:
+            for i, Q in enumerate(mats):
+                recon = self._find_cover(ds, Q)
+                if recon is not None:
+                    answers[i] = self._serve_hit(dataset, ds, Q, recon)
+                else:
+                    miss_idx.append(i)
+            if hits_span is not None:
+                hits_span.attrs["hits"] = len(mats) - len(miss_idx)
 
         charged = 0.0
         if miss_idx:
@@ -933,7 +1054,10 @@ class QueryService:
                     "and no eps was provided to measure them"
                 )
             blocks = [mats[i] for i in miss_idx]
-            mroute = self.route_misses(blocks)
+            with _TRACER.span("plan.route", misses=len(miss_idx)) as rspan:
+                mroute = self.route_misses(blocks)
+                if rspan is not None:
+                    rspan.attrs["route"] = mroute.route
             if mroute.route == "direct":
                 # Cold-miss fast path: measure the joint query support
                 # directly instead of fitting a strategy for a one-off.
@@ -949,15 +1073,16 @@ class QueryService:
                         f"answer() got unknown measure options {sorted(unknown)}; "
                         f"valid options are {sorted(ANSWER_MEASURE_OPTIONS)}"
                     )
-                key, x_hat, charged = self._measure_misses_direct(
-                    dataset,
-                    blocks,
-                    eps,
-                    rng,
-                    stage,
-                    cache=run_kwargs.get("cache", True),
-                    cols=mroute.support_cols,
-                )
+                with _TRACER.span("serve.measure", route="direct"):
+                    key, x_hat, charged = self._measure_misses_direct(
+                        dataset,
+                        blocks,
+                        eps,
+                        rng,
+                        stage,
+                        cache=run_kwargs.get("cache", True),
+                        cols=mroute.support_cols,
+                    )
                 for i in miss_idx:
                     values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
                     answers[i] = QueryAnswer(
@@ -970,14 +1095,15 @@ class QueryService:
                     misses=len(miss_idx),
                 )
             W_miss = blocks[0] if len(blocks) == 1 else VStack(blocks)
-            result = self.measure(
-                dataset,
-                W_miss,
-                eps,
-                rng=rng,
-                stage=stage or "answer:misses",
-                **run_kwargs,
-            )
+            with _TRACER.span("serve.measure", route=mroute.route):
+                result = self.measure(
+                    dataset,
+                    W_miss,
+                    eps,
+                    rng=rng,
+                    stage=stage or "answer:misses",
+                    **run_kwargs,
+                )
             charged = result.charged
             flat = np.asarray(result.answers).reshape(-1)
             offset = 0

@@ -51,16 +51,21 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
+import time
 
 try:
     import fcntl
 except ImportError:  # non-POSIX platform — single-process use only
     fcntl = None
 
+from ..obs.metrics import REGISTRY as _METRICS
 from . import faults
 
 __all__ = ["TornRecordError", "WriteAheadLedger", "decode_line", "encode_record"]
+
+logger = logging.getLogger(__name__)
 
 _CRC_CHARS = 16
 LEDGER_VERSION = 1
@@ -118,6 +123,13 @@ class WriteAheadLedger:
                 f"ledger directory {parent!r} does not exist — create it "
                 "before opening a write-ahead ledger there"
             )
+
+    @property
+    def torn_offset(self) -> int | None:
+        """File offset of the torn tail the last read detected (``None``
+        when the file ended on a committed record) — the read-only spend
+        view (:mod:`repro.obs.spend`) reports it without truncating."""
+        return self._torn_at
 
     # -- locking -------------------------------------------------------------
     @contextlib.contextmanager
@@ -186,6 +198,15 @@ class WriteAheadLedger:
 
             faults.retrying(_fsync, site="ledger.truncate.fsync")
         self._torn_at = None
+        if removed:
+            logger.warning(
+                "truncated %d-byte torn tail from ledger %s (a crashed "
+                "writer's uncommitted record)",
+                removed,
+                self.path,
+            )
+            if _METRICS.enabled:
+                _METRICS.counter("ledger.torn_tails_total").inc()
         return removed
 
     # -- writing -------------------------------------------------------------
@@ -215,7 +236,14 @@ class WriteAheadLedger:
                 os.fsync(f.fileno())
 
             faults.retrying(_write, site="ledger.append.write")
-            faults.retrying(_fsync, site="ledger.append.fsync")
+            if _METRICS.enabled:
+                t0 = time.perf_counter()
+                faults.retrying(_fsync, site="ledger.append.fsync")
+                _METRICS.histogram("ledger.fsync_ms").observe(
+                    (time.perf_counter() - t0) * 1e3
+                )
+            else:
+                faults.retrying(_fsync, site="ledger.append.fsync")
         # Kill-point between the durable write and the caller's in-memory
         # apply: a crash here leaves a committed record the next recovery
         # replays — budget conservatively spent, never overdrawn.

@@ -86,6 +86,8 @@ from ..linalg import (
 )
 from ..core.solvers import export_gram_solver_state, restore_gram_solver_state
 from ..domain import Domain
+from ..obs.events import emit as _emit
+from ..obs.metrics import REGISTRY as _METRICS
 from ..workload.logical import LogicalWorkload
 from . import faults
 from .fingerprint import workload_fingerprint
@@ -283,11 +285,12 @@ class StrategyRegistry:
             return {"version": _MANIFEST_VERSION, "entries": {}}
         except ValueError:
             where = self._quarantine_file(_MANIFEST)
-            logger.warning(
-                "registry manifest %s is corrupt; quarantined to %s and "
-                "rebuilt from the npz files present (fit metadata lost)",
-                self.manifest_path,
-                where,
+            _emit(
+                logger,
+                "registry.manifest_quarantined",
+                path=self.manifest_path,
+                quarantined_to=where,
+                action="rebuilt from npz files present (fit metadata lost)",
             )
             manifest = self._rebuild_manifest()
             self._write_manifest(manifest)
@@ -532,11 +535,12 @@ class StrategyRegistry:
                 del tables[key]
                 manifest["tables"] = tables
                 self._write_manifest(manifest)
-        logger.warning(
-            "quarantined corrupted accelerator table %s (%s)%s",
-            key,
-            reason,
-            "" if where is None else f" -> {where}",
+        _emit(
+            logger,
+            "registry.table_quarantined",
+            key=key,
+            reason=reason,
+            quarantined_to=where,
         )
 
     def table_keys(self) -> list[str]:
@@ -555,11 +559,12 @@ class StrategyRegistry:
             if key in manifest["entries"]:
                 del manifest["entries"][key]
                 self._write_manifest(manifest)
-        logger.warning(
-            "quarantined corrupted strategy %s (%s)%s",
-            key,
-            reason,
-            "" if where is None else f" -> {where}",
+        _emit(
+            logger,
+            "registry.entry_quarantined",
+            key=key,
+            reason=reason,
+            quarantined_to=where,
         )
 
     def _backfill_checksum(self, key: str, digest: str) -> None:
@@ -583,6 +588,7 @@ class StrategyRegistry:
         """
         meta = self.entry(key)
         path = self._strategy_path(key)
+        t0 = time.perf_counter()
         try:
             faults.check("registry.load")
             digest = _file_sha256(path)
@@ -616,6 +622,10 @@ class StrategyRegistry:
             ) from e
         if expected is None:
             self._backfill_checksum(key, digest)
+        if _METRICS.enabled:
+            _METRICS.histogram("registry.warm_load_ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
         return StrategyRecord(
             key=key, strategy=strategy, loss=meta.get("loss"), meta=meta
         )
