@@ -143,17 +143,21 @@ class Dataset:
         expr: QueryExpr,
         eps: float | None = None,
         rng: np.random.Generator | int | None = None,
+        deadline=None,
         **run_kwargs,
     ) -> Answer:
         """Answer one expression (free when cached; measured under ``eps``
         otherwise — no ``eps`` raises on a miss before any spend)."""
-        return self.ask_many([expr], eps=eps, rng=rng, **run_kwargs)[0]
+        return self.ask_many(
+            [expr], eps=eps, rng=rng, deadline=deadline, **run_kwargs
+        )[0]
 
     def ask_many(
         self,
         exprs,
         eps: float | None = None,
         rng: np.random.Generator | int | None = None,
+        deadline=None,
         **run_kwargs,
     ) -> list[Answer]:
         """Answer a batch of expressions with per-query provenance.
@@ -164,6 +168,9 @@ class Dataset:
         :meth:`~repro.service.QueryService.answer` — hits free, misses
         jointly measured under scalar ``eps``.  Extra keyword arguments
         (``exact``, ``method``, ...) forward to the measurement pass.
+        ``deadline`` (a :class:`repro.server.Deadline` or compatible) is
+        threaded down to the engine's stage boundaries; expiry before
+        the accountant debit refuses with zero spend.
         """
         exprs = list(exprs)
         if not exprs:
@@ -171,6 +178,8 @@ class Dataset:
         with _TRACER.span(
             "session.ask", dataset=self.name, expressions=len(exprs)
         ):
+            if deadline is not None:
+                deadline.check("plan")  # compile stage boundary
             with _TRACER.span("plan.compile"):
                 batch = self.compile_many(exprs)
             # No separate planning pass: answer() makes (and reports, via
@@ -182,6 +191,7 @@ class Dataset:
                 [cq.matrix for cq in batch.queries],
                 eps=eps,
                 rng=rng,
+                deadline=deadline,
                 **run_kwargs,
             )
             trace_id = _TRACER.current_trace_id()

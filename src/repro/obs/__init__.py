@@ -115,8 +115,10 @@ def reset() -> None:
 def __getattr__(name):
     # Lazy so `python -m repro.obs.spend` doesn't import the module twice
     # (once as the package attribute, once as __main__ — runpy warns).
+    # Imported via importlib, not `from . import`: the latter re-enters
+    # this __getattr__ through the fromlist hasattr probe and recurses.
     if name == "spend":
-        from . import spend
+        import importlib
 
-        return spend
+        return importlib.import_module(".spend", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

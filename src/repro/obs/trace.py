@@ -278,9 +278,21 @@ class JsonlTraceSink:
             )
         ]
         lines += [encode_record(sp.to_record()) for sp in spans]
-        with open(self.path, "ab") as f:
-            f.write(b"".join(lines))
-            f.flush()
+        payload = b"".join(lines)
+        from ..service import faults
+
+        def _append():
+            faults.check("trace.sink.write")
+            with open(self.path, "ab") as f:
+                f.write(payload)
+                f.flush()
+
+        # Transient append faults retry under the shared policy; a
+        # persistent one propagates to Tracer._finish, which drops the
+        # trace rather than fail the request it observed.
+        from ..server.retry import call_retrying
+
+        call_retrying(_append)
 
 
 def read_trace_log(path: str) -> list[dict]:

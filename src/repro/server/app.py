@@ -1,0 +1,453 @@
+"""The transport-free request handler behind the HTTP front-end.
+
+:class:`ServerApp` owns a :class:`repro.api.Session` and turns JSON
+request payloads into served answers, composing the four robustness
+mechanisms:
+
+* every query request carries a :class:`~repro.server.deadline.Deadline`
+  threaded down to the engine's stage boundaries — expiry before the
+  accountant debit refuses with **zero spend**, expiry after the fsync'd
+  debit lets the measurement finish and either delivers the late answer
+  (inside a bounded commit grace) or reports the spend as burned.  Never
+  a refund;
+* the **free path** (every query answerable from cached reconstructions)
+  is served inline on the event loop and is *always admitted* — it never
+  touches the admission queue, the executor, or the breaker, so cheap
+  reads survive total saturation of the measurement path;
+* the **measured path** passes the
+  :class:`~repro.server.admission.AdmissionController` (bounded queue +
+  per-dataset limiter, structured 429/503 + Retry-After) and runs in a
+  bounded thread-pool executor sized to the admission slots;
+* **cold** requests additionally pass the
+  :class:`~repro.server.breaker.CircuitBreaker`; while it is open the
+  server serves what it can without a fit (warm/direct misses proceed,
+  free hits always) and refuses the rest with ``degraded: true``.
+  Budget-exhausted datasets degrade the same way: the measured path is
+  refused up front with the remaining ε in the body, the free path keeps
+  serving.
+
+Wire query DSL (one JSON object per query)::
+
+    {"marginal": ["age", "sex"]}          # k-way marginal
+    {"total": true}                       # grand total
+    {"prefix": "age"}                     # prefix sums over one attribute
+    {"ranges": "age"}                     # all ranges workload
+    {"count": [{"attr": "sex", "eq": "F"},
+               {"attr": "age", "between": [30, 40]}]}   # predicate count
+
+Responses are canonical JSON (sorted keys, compact separators — the
+WAL's byte-stability discipline applied to the wire), so a 2xx body for
+a seeded request is bit-identical across runs and equal to what a direct
+in-process :meth:`Session.ask_many` with the same seed returns —
+``json.dumps``/``loads`` round-trips float64 exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..api.expr import A, QueryExpr, count, marginal, prefix, ranges, total
+from ..api.session import Session
+from ..obs.metrics import REGISTRY as _METRICS
+from ..obs.trace import TRACER as _TRACER
+from ..service.engine import QueryMiss
+from .admission import AdmissionController, ShedError
+from .breaker import CircuitBreaker
+from .deadline import Deadline, DeadlineExceededError
+from .errors import encode_body, error_response
+
+__all__ = ["ServerApp", "parse_query_spec"]
+
+#: Serving cost order, most expensive first — the request-level ``route``
+#: label is the priciest route any of its queries took.
+_ROUTE_RANK = {"cold": 5, "direct": 4, "warm": 3, "cache": 2, "accelerator": 1}
+
+
+def parse_query_spec(spec) -> QueryExpr:
+    """One wire-DSL object → one :class:`QueryExpr` (ValueError on junk)."""
+    if not isinstance(spec, dict) or len(spec) != 1:
+        raise ValueError(
+            f"each query must be a single-key object like "
+            f'{{"marginal": [...]}}; got {spec!r}'
+        )
+    (kind, arg), = spec.items()
+    if kind == "marginal":
+        if not isinstance(arg, list) or not all(
+            isinstance(a, str) for a in arg
+        ):
+            raise ValueError(f"marginal takes a list of attribute names: {arg!r}")
+        return marginal(*arg)
+    if kind == "total":
+        return total()
+    if kind == "prefix":
+        if not isinstance(arg, str):
+            raise ValueError(f"prefix takes one attribute name: {arg!r}")
+        return prefix(arg)
+    if kind == "ranges":
+        if not isinstance(arg, str):
+            raise ValueError(f"ranges takes one attribute name: {arg!r}")
+        return ranges(arg)
+    if kind == "count":
+        if not isinstance(arg, list):
+            raise ValueError(f"count takes a list of conditions: {arg!r}")
+        conds = []
+        for c in arg:
+            if not isinstance(c, dict) or "attr" not in c:
+                raise ValueError(f"count condition needs an 'attr': {c!r}")
+            ref = A(c["attr"])
+            if "eq" in c:
+                conds.append(ref.eq(c["eq"]))
+            elif "between" in c:
+                lo, hi = c["between"]
+                conds.append(ref.between(lo, hi))
+            else:
+                raise ValueError(
+                    f"count condition needs 'eq' or 'between': {c!r}"
+                )
+        return count(*conds)
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+class ServerApp:
+    """Session + robustness mechanisms behind one async ``handle`` method.
+
+    Transport-free: :mod:`repro.server.http` feeds it parsed requests;
+    tests can drive it directly with dict payloads.
+
+    Parameters
+    ----------
+    session:
+        The :class:`repro.api.Session` to serve (datasets are registered
+        through :meth:`register` or directly on the session).
+    max_measure / max_queue / per_dataset:
+        Admission geometry (see :class:`AdmissionController`); the
+        measurement executor is sized to ``max_measure``.
+    default_timeout / max_timeout:
+        Per-request deadline when the client sends none, and the cap on
+        what a client may ask for.
+    commit_grace:
+        How long past its deadline a request with a *committed* debit is
+        awaited before its spend is reported burned.  The measurement
+        itself always runs to completion either way — the grace bounds
+        only how long the waiter holds the connection open.
+    breaker:
+        Cold-fit circuit breaker (default :class:`CircuitBreaker` with
+        its stock thresholds).
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        max_measure: int = 2,
+        max_queue: int = 8,
+        per_dataset: int = 2,
+        default_timeout: float = 2.0,
+        max_timeout: float = 30.0,
+        commit_grace: float = 5.0,
+        breaker: CircuitBreaker | None = None,
+    ):
+        self.session = session
+        self.admission = AdmissionController(
+            max_measure=max_measure,
+            max_queue=max_queue,
+            per_dataset=per_dataset,
+        )
+        self.breaker = breaker or CircuitBreaker()
+        self.default_timeout = float(default_timeout)
+        self.max_timeout = float(max_timeout)
+        self.commit_grace = float(commit_grace)
+        self.draining = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_measure, thread_name_prefix="measure"
+        )
+        # Parsed-expression cache keyed by the canonical spec JSON: reusing
+        # the same QueryExpr objects across requests keeps the Dataset's
+        # compile memo (and everything memoized on the compiled matrices)
+        # warm, which is what makes the free path O(lookup).
+        self._exprs: dict[tuple[str, str], list[QueryExpr]] = {}
+
+    # -- dataset management --------------------------------------------------
+    def register(self, name, schema, data, epsilon_cap=None):
+        """Register a dataset on the underlying session."""
+        return self.session.dataset(
+            name, schema=schema, data=data, epsilon_cap=epsilon_cap
+        )
+
+    def datasets(self) -> list[str]:
+        return self.session.datasets()
+
+    # -- lifecycle / introspection endpoints ---------------------------------
+    def healthz(self) -> tuple[int, dict, dict]:
+        """Liveness: the process is up and the event loop is turning."""
+        return 200, {}, {"status": "ok"}
+
+    def readyz(self) -> tuple[int, dict, dict]:
+        """Readiness: drained servers and saturated queues report 503 so a
+        load balancer routes around them before requests are shed."""
+        ready = not self.draining and self.admission.queued < self.admission.max_queue
+        body = {
+            "status": "ok" if ready else "unavailable",
+            "draining": self.draining,
+            "queued": self.admission.queued,
+            "executing": self.admission.executing,
+            "breaker": self.breaker.state,
+        }
+        return (200 if ready else 503), {}, body
+
+    def metrics_text(self) -> str:
+        if _METRICS.enabled:
+            _METRICS.gauge("server.breaker_state").set(self.breaker.state_value)
+        return _METRICS.render_text()
+
+    # -- request handling ----------------------------------------------------
+    async def handle(self, method: str, path: str, payload) -> tuple[int, dict, bytes]:
+        """Dispatch one parsed request to ``(status, headers, body_bytes)``."""
+        if method == "GET" and path == "/healthz":
+            s, h, b = self.healthz()
+        elif method == "GET" and path == "/readyz":
+            s, h, b = self.readyz()
+        elif method == "GET" and path == "/metrics":
+            text = self.metrics_text()
+            return 200, {"Content-Type": "text/plain; charset=utf-8"}, text.encode()
+        elif method == "GET" and path == "/datasets":
+            s, h, b = 200, {}, {"datasets": self.datasets()}
+        elif method == "POST" and path == "/query":
+            s, h, b = await self.handle_query(payload)
+        else:
+            s, h, b = 404, {}, {
+                "code": "not_found",
+                "error": f"no route {method} {path}",
+                "retryable": False,
+            }
+        return s, {"Content-Type": "application/json", **h}, encode_body(b)
+
+    async def handle_query(self, payload) -> tuple[int, dict, dict]:
+        """Serve one query request; exceptions become the error table's
+        structured responses (simulated crashes stay BaseException and
+        propagate — the connection dies with no bytes written, exactly
+        like a killed process)."""
+        t0 = time.perf_counter()
+        track = _METRICS.enabled
+        route = "none"
+        if track:
+            _METRICS.gauge("server.inflight").inc()
+        try:
+            status, headers, body = await self._handle_query(payload)
+            route = body.pop("_route", "none") if isinstance(body, dict) else "none"
+        except ShedError as e:
+            status, headers, body = error_response(e)
+            if track:
+                _METRICS.counter("server.shed_total", reason=e.reason).inc()
+        except Exception as e:
+            status, headers, body = error_response(e)
+        finally:
+            if track:
+                _METRICS.gauge("server.inflight").inc(-1)
+        if track:
+            _METRICS.counter(
+                "server.requests_total", route=route, status=str(status)
+            ).inc()
+            _METRICS.histogram("server.request_ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+            _METRICS.gauge("server.breaker_state").set(self.breaker.state_value)
+        return status, headers, body
+
+    def _parse_request(self, payload):
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        name = payload.get("dataset")
+        if not isinstance(name, str):
+            raise ValueError("request needs a 'dataset' string")
+        if name not in self.session.datasets():
+            raise KeyError(name)
+        ds = self.session.dataset(name)
+        specs = payload.get("queries")
+        if not isinstance(specs, list) or not specs:
+            raise ValueError("request needs a non-empty 'queries' list")
+        cache_key = (
+            name,
+            json.dumps(specs, sort_keys=True, separators=(",", ":")),
+        )
+        exprs = self._exprs.get(cache_key)
+        if exprs is None:
+            exprs = [parse_query_spec(s) for s in specs]
+            if len(self._exprs) >= 4096:
+                self._exprs.clear()
+            self._exprs[cache_key] = exprs
+        eps = payload.get("eps")
+        if eps is not None:
+            eps = float(eps)
+            if not eps > 0:
+                raise ValueError(f"eps must be positive, got {eps}")
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ValueError(f"seed must be an integer, got {seed!r}")
+        timeout = payload.get("timeout", self.default_timeout)
+        timeout = min(float(timeout), self.max_timeout)
+        if not timeout > 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        return name, ds, exprs, eps, seed, timeout
+
+    async def _handle_query(self, payload) -> tuple[int, dict, dict]:
+        if self.draining:
+            raise ShedError("draining", 503, 1.0)
+        name, ds, exprs, eps, seed, timeout = self._parse_request(payload)
+        deadline = Deadline(timeout)
+
+        # Free path: always admitted, served inline on the event loop.
+        # QueryMiss is raised by the engine *before* any budget is touched,
+        # so falling through to the measured path costs nothing.
+        try:
+            with _TRACER.span("server.request", dataset=name, route="free"):
+                answers = ds.ask_many(exprs, eps=None)
+            return 200, {}, self._body(name, answers, degraded=False)
+        except QueryMiss:
+            pass
+
+        if eps is None:
+            raise ValueError(
+                "queries miss every cached reconstruction; pass 'eps' to "
+                "measure them (or retry later once cached)"
+            )
+
+        # Budget-exhausted degradation: refuse the measured path up front
+        # (the body carries remaining ε) instead of burning an executor
+        # slot on a charge the accountant would refuse anyway.  The
+        # accountant still enforces the cap — this is an optimization,
+        # not the enforcement point.
+        acct = self.session.service.accountant
+        if acct is not None and eps > acct.remaining(name) * (1 + 1e-9):
+            from ..service.accountant import BudgetExceededError
+
+            raise BudgetExceededError(
+                name, acct.cap(name), acct.spent(name), eps, "sequential"
+            )
+
+        # Routing decision for the breaker: only genuinely cold requests
+        # pass through it; warm/direct misses keep serving while open.
+        plan = ds.plan(exprs, eps)
+        cold = any(e.route == "cold" for e in plan.entries)
+        if cold:
+            self.breaker.allow()
+
+        await self.admission.acquire_measure(name, timeout=deadline.remaining())
+        loop = asyncio.get_running_loop()
+        fut = loop.run_in_executor(
+            self._executor, self._measured, name, ds, exprs, eps, seed,
+            deadline, cold,
+        )
+        # The slot is released when the *worker* finishes — not when the
+        # waiter gives up — so the executor can never oversubscribe; the
+        # exception() read also marks a crashed worker's error retrieved.
+        fut.add_done_callback(
+            lambda f: (self.admission.release_measure(name), f.exception())
+        )
+        try:
+            answers = await asyncio.wait_for(
+                asyncio.shield(fut), deadline.remaining() + 1e-3
+            )
+        except asyncio.TimeoutError:
+            return await self._late(name, deadline, fut)
+        return 200, {}, self._body(name, answers, degraded=False)
+
+    async def _late(self, name, deadline, fut) -> tuple[int, dict, dict]:
+        """The waiter outlived the deadline.  Which side of the ε-spend
+        fence the worker is on decides everything."""
+        if not deadline.commit_started:
+            # No debit can exist: the worker's next stage check raises and
+            # nothing was charged.  Refuse free.
+            raise DeadlineExceededError(
+                deadline.expired_stage or "wire",
+                deadline.elapsed(),
+                deadline.timeout,
+            )
+        # The debit is (possibly) durable: the measurement always runs to
+        # completion, we just bound how long this waiter holds the
+        # connection for the late answer.
+        try:
+            answers = await asyncio.wait_for(asyncio.shield(fut), self.commit_grace)
+        except asyncio.TimeoutError:
+            spent = deadline.committed_epsilon
+            return 504, {}, {
+                "code": "deadline_exceeded",
+                "error": (
+                    "deadline exceeded after the budget debit committed; "
+                    "the spend is burned, not refunded"
+                ),
+                "retryable": True,
+                "burned": True,
+                "dataset": name,
+                "epsilon_spent": 0.0 if spent is None else spent,
+            }
+        body = self._body(name, answers, degraded=False)
+        body["late"] = True
+        return 200, {}, body
+
+    def _measured(self, name, ds, exprs, eps, seed, deadline, cold):
+        """Executor-side measured request (worker thread): the root span
+        opens here so it parents ``session.ask`` in the thread-local
+        tracer, and breaker accounting sees the true fit outcome."""
+        try:
+            with _TRACER.span("server.request", dataset=name, route="measured"):
+                answers = ds.ask_many(exprs, eps=eps, rng=seed, deadline=deadline)
+        except DeadlineExceededError as e:
+            if cold and e.stage == "fit":
+                self.breaker.record_failure()
+            raise
+        else:
+            if cold:
+                self.breaker.record_success()
+        return answers
+
+    # -- response assembly ---------------------------------------------------
+    def _body(self, name, answers, degraded: bool) -> dict:
+        route = "none"
+        rank = 0
+        out = []
+        for a in answers:
+            r = _ROUTE_RANK.get(a.route, 0)
+            if r > rank:
+                rank, route = r, a.route
+            out.append(
+                {
+                    "values": [float(v) for v in a.values],
+                    "route": a.route,
+                    "epsilon": a.epsilon,
+                    "key": a.key,
+                    "span_projected": a.span_projected,
+                }
+            )
+        charged = max((a.epsilon for a in answers), default=0.0)
+        body = {
+            "answers": out,
+            "charged": charged,
+            "dataset": name,
+            "degraded": degraded,
+            "_route": route,
+        }
+        acct = self.session.service.accountant
+        if acct is not None:
+            body["remaining"] = acct.remaining(name)
+        tid = answers[0].trace_id if answers else None
+        if tid is not None:
+            body["trace_id"] = tid
+        return body
+
+    # -- shutdown ------------------------------------------------------------
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting, wait for in-flight measured work, then shut the
+        executor down (the flush half: every WAL append an admitted
+        request will make has happened once this returns True)."""
+        self.draining = True
+        give_up = time.monotonic() + timeout
+        while (
+            self.admission.executing > 0 or self.admission.queued > 0
+        ) and time.monotonic() < give_up:
+            await asyncio.sleep(0.01)
+        drained = self.admission.executing == 0 and self.admission.queued == 0
+        self._executor.shutdown(wait=drained)
+        return drained

@@ -1,0 +1,175 @@
+"""One table from library exceptions to structured HTTP error responses.
+
+Every failure mode the serving stack can produce maps here to a
+``(status, headers, body)`` triple with a **canonical-JSON** body
+(sorted keys, compact separators — same discipline as the WAL, so error
+bodies are byte-stable across processes and safe to assert on in
+tests).  Bodies always carry:
+
+``code``
+    A stable machine-readable string (clients switch on this, never on
+    the human message).
+``error``
+    The human-readable message.
+``retryable``
+    Whether the *same* request can be retried as-is.  Budget and schema
+    failures are not retryable — the budget will not refill and the
+    query will not start fitting the schema; contention, corruption
+    quarantine, open breakers, and deadline expiry are.
+
+and, where the exception carries them: ``dataset``, ``remaining_epsilon``
+(so a refused tenant can see what its budget still allows), ``reason``,
+``stage``, ``degraded``, and ``epsilon_spent`` (for a deadline that
+expired *after* the fsync'd debit — the spend is reported as burned,
+per the accountant's no-refund invariant).
+
+Mapping is most-specific-first (``SchemaMismatchError`` subclasses
+``KeyError``, so a bare-``KeyError`` → 404 entry must come later).
+Unrecognized exceptions become an opaque 500 without leaking internals.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..domain import SchemaMismatchError
+from ..service.accountant import BudgetExceededError
+from ..service.engine import QueryMiss
+from ..service.ledger import LockTimeoutError
+from ..service.registry import RegistryCorruptionError
+from .admission import ShedError
+from .breaker import BreakerOpenError
+from .deadline import DeadlineExceededError
+
+__all__ = ["encode_body", "error_response"]
+
+
+def encode_body(body: dict) -> bytes:
+    """Canonical-JSON-encode a response body (sorted keys, compact)."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _budget(e: BudgetExceededError):
+    return 403, {}, {
+        "code": "budget_exceeded",
+        "error": str(e),
+        "retryable": False,
+        "dataset": e.dataset,
+        "remaining_epsilon": e.remaining,
+        "cap_epsilon": e.cap,
+        "spent_epsilon": e.spent,
+        "requested_epsilon": e.requested,
+        "composition": e.composition,
+    }
+
+
+def _schema(e: SchemaMismatchError):
+    return 400, {}, {
+        "code": "schema_mismatch",
+        "error": str(e),
+        "retryable": False,
+    }
+
+
+def _query_miss(e: QueryMiss):
+    # Only reachable in free-routes-only (degraded) serving: the query
+    # needs a measurement the server is refusing to run right now.
+    return 503, {"Retry-After": "1"}, {
+        "code": "measurement_unavailable",
+        "error": str(e),
+        "retryable": True,
+        "degraded": True,
+    }
+
+
+def _registry(e: RegistryCorruptionError):
+    return 503, {"Retry-After": "0.1"}, {
+        "code": "registry_corruption",
+        "error": str(e),
+        "retryable": True,
+    }
+
+
+def _lock_timeout(e: LockTimeoutError):
+    return 503, {"Retry-After": f"{e.timeout:g}"}, {
+        "code": "ledger_lock_timeout",
+        "error": str(e),
+        "retryable": True,
+    }
+
+
+def _deadline(e: DeadlineExceededError):
+    return 504, {}, {
+        "code": "deadline_exceeded",
+        "error": str(e),
+        "retryable": True,
+        "stage": e.stage,
+        "epsilon_spent": 0.0,  # expiry at a stage check is always pre-charge
+    }
+
+
+def _shed(e: ShedError):
+    return e.status, {"Retry-After": f"{e.retry_after:g}"}, {
+        "code": "overloaded",
+        "error": str(e),
+        "retryable": True,
+        "reason": e.reason,
+    }
+
+
+def _breaker(e: BreakerOpenError):
+    return 503, {"Retry-After": f"{max(e.retry_after, 0.001):g}"}, {
+        "code": "breaker_open",
+        "error": str(e),
+        "retryable": True,
+        "degraded": True,
+    }
+
+
+def _unknown_dataset(e: KeyError):
+    name = e.args[0] if e.args else "?"
+    return 404, {}, {
+        "code": "unknown_dataset",
+        "error": f"no dataset named {name!r} is registered with this server",
+        "retryable": False,
+        "dataset": str(name),
+    }
+
+
+def _bad_request(e: ValueError):
+    return 400, {}, {
+        "code": "bad_request",
+        "error": str(e),
+        "retryable": False,
+    }
+
+
+#: Ordered most-specific-first; the first isinstance match wins.
+_HANDLERS = (
+    (BudgetExceededError, _budget),
+    (SchemaMismatchError, _schema),
+    (QueryMiss, _query_miss),
+    (RegistryCorruptionError, _registry),
+    (LockTimeoutError, _lock_timeout),
+    (DeadlineExceededError, _deadline),
+    (ShedError, _shed),
+    (BreakerOpenError, _breaker),
+    (KeyError, _unknown_dataset),
+    (ValueError, _bad_request),
+)
+
+
+def error_response(exc: BaseException) -> tuple[int, dict, dict]:
+    """Map ``exc`` to ``(status, extra_headers, body_dict)``.
+
+    The body is a plain dict; callers serialize it with
+    :func:`encode_body` so the wire bytes are canonical.
+    """
+    for etype, handler in _HANDLERS:
+        if isinstance(exc, etype):
+            return handler(exc)
+    return 500, {}, {
+        "code": "internal",
+        "error": f"internal server error ({type(exc).__name__})",
+        "retryable": False,
+    }

@@ -121,10 +121,19 @@ class PrivacyAccountant:
         everything, acceptable for tests and synthetic benchmarks, never
         for real data.  An existing file is recovered on construction:
         committed records are replayed and a torn tail is truncated.
+    lock_timeout:
+        Bound (seconds) on waiting for the ledger's cross-process lock.
+        ``None`` (default) blocks indefinitely — the library semantics.
+        Serving callers set it so a stuck peer raises
+        :class:`repro.service.ledger.LockTimeoutError` (retryable, zero
+        spend) instead of parking a request thread forever.
     """
 
     def __init__(
-        self, default_cap: float | None = None, wal_path: str | None = None
+        self,
+        default_cap: float | None = None,
+        wal_path: str | None = None,
+        lock_timeout: float | None = None,
     ):
         if default_cap is not None:
             default_cap = float(validate_epsilon(default_cap, "default_cap"))
@@ -133,7 +142,11 @@ class PrivacyAccountant:
         self._spent: dict[str, float] = {}
         self.ledger: list[LedgerEntry] = []
         self._lock = threading.RLock()
-        self._wal = None if wal_path is None else WriteAheadLedger(wal_path)
+        self._wal = (
+            None
+            if wal_path is None
+            else WriteAheadLedger(wal_path, lock_timeout=lock_timeout)
+        )
         if self._wal is not None:
             with self._wal.locked():
                 records = self._wal.read_new()

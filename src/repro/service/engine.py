@@ -77,6 +77,7 @@ from .accelerator import (
     store_table,
     strategy_spans_everything,
 )
+from . import faults
 from .accountant import PrivacyAccountant
 from .registry import StrategyRegistry
 from ..obs.metrics import REGISTRY as _METRICS
@@ -473,20 +474,33 @@ class QueryService:
         self,
         workload,
         domain: Domain | None = None,
+        deadline=None,
     ) -> tuple[str, Matrix, float | None, bool]:
         """Resolve a workload to a serve-ready strategy.
 
         Returns ``(key, strategy, loss, from_registry)``.  Resolution
         order: in-memory memo → registry → cold fit (persisted back to
         the registry).  Never touches data or budget.
+
+        ``deadline`` (duck-typed, see :mod:`repro.server.deadline`) is
+        consulted at the ``fit`` stage boundary — on entry, so a request
+        with no fit budget left is refused before the optimizer starts,
+        and on exit, so a fit that blew the budget is attributed to the
+        fit stage (the strategy is still memoized and persisted: the
+        *next* request gets it warm).
         """
         workload, domain = as_workload_matrix(workload, domain)
         key, strategy, loss = self.probe(workload, domain=domain)
         if strategy is not None:
             return key, strategy, loss, True
+        if deadline is not None:
+            deadline.check("fit")
         mech = HDMM(restarts=self.restarts, rng=self.rng)
         t0 = time.perf_counter()
         with _TRACER.span("select.fit", key=key[:12]):
+            # Latency/kill fault point for the serving edge's chaos tests
+            # (a slow or dying optimizer, not a broken one).
+            faults.check("engine.fit")
             mech.fit(workload, **self.fit_kwargs)
         loss = mech.result.loss
         logger.info(
@@ -506,6 +520,8 @@ class QueryService:
                 template=self.template,
             )
         self._prepared[key] = (mech.strategy, loss)
+        if deadline is not None:
+            deadline.check("fit")  # exit check: attribute a slow fit here
         return key, mech.strategy, loss, False
 
     # -- MEASURE (accounted) -------------------------------------------------
@@ -519,6 +535,7 @@ class QueryService:
         domain: Domain | None = None,
         stage: str = "",
         cache: bool = True,
+        deadline=None,
         **run_kwargs,
     ) -> ServeResult:
         """Run an accounted (ε-grid x trials) measurement sweep.
@@ -547,6 +564,7 @@ class QueryService:
                 domain=domain,
                 stage=stage,
                 cache=cache,
+                deadline=deadline,
                 **run_kwargs,
             )
             result.trace_id = _TRACER.current_trace_id()
@@ -564,6 +582,7 @@ class QueryService:
         domain: Domain | None = None,
         stage: str = "",
         cache: bool = True,
+        deadline=None,
         **run_kwargs,
     ) -> ServeResult:
         ds = self._dataset(dataset)
@@ -589,15 +608,30 @@ class QueryService:
                 )
             )
 
+        if deadline is not None:
+            deadline.check("warm")  # registry probe/load stage boundary
         with _TRACER.span("select.prepare"):
             key, strategy, loss, from_registry = self.prepare(
-                workload, domain=domain
+                workload, domain=domain, deadline=deadline
             )
         if self.accountant is not None:
+            if deadline is not None:
+                # The ε-spend fence (see repro.server.deadline): the last
+                # budget check a deadline can ever fail happens *here*,
+                # while refusal is still free.  begin_commit() flips the
+                # deadline into possibly-committed before the WAL append
+                # inside charge(); a cap refusal or lock timeout below
+                # raises strictly before that append, and the server maps
+                # those exceptions explicitly, so the conservative flag is
+                # never read on that path.
+                deadline.check("charge")
+                deadline.begin_commit()
             with _TRACER.span("accountant.charge", epsilon=total):
                 self.accountant.charge(
                     dataset, total, stage=stage or f"measure:{key[:8]}"
                 )
+            if deadline is not None:
+                deadline.mark_committed(total)
 
         mech = HDMM(restarts=self.restarts, rng=self.rng)
         mech.workload = workload
@@ -605,6 +639,9 @@ class QueryService:
         with _TRACER.span(
             "measure.run_batch", grid=len(eps_arr), trials=trials
         ):
+            # Post-commit kill/latency point: a crash or stall here is the
+            # burned-budget case the WAL invariant exists for.
+            faults.check("engine.measure.noise")
             answers, x_hat = mech.run_batch(
                 ds.x,
                 eps_arr,
@@ -875,6 +912,7 @@ class QueryService:
         stage: str,
         cache: bool = True,
         cols: np.ndarray | None = None,
+        deadline=None,
     ) -> tuple[str, np.ndarray, float] | None:
         """Cold-miss fast path: direct measurement of the queries' support.
 
@@ -923,10 +961,18 @@ class QueryService:
                 )
             return key, np.zeros(n), 0.0
         if self.accountant is not None:
+            if deadline is not None:
+                # Same ε-spend fence as _measure_impl: last free refusal
+                # point, then the debit is possibly durable.
+                deadline.check("charge")
+                deadline.begin_commit()
             self.accountant.charge(
                 dataset, charged, stage=stage or "answer:direct"
             )
+            if deadline is not None:
+                deadline.mark_committed(charged)
         S = selection_matrix(cols, n)
+        faults.check("engine.measure.noise")
         y = laplace_measure(S, ds.x, charged, rng)
         x_hat = np.zeros(n)
         x_hat[cols] = y  # S⁺ = Sᵀ for a selection matrix
@@ -946,6 +992,7 @@ class QueryService:
         eps: float | None = None,
         rng: np.random.Generator | int | None = None,
         stage: str = "",
+        deadline=None,
         **run_kwargs,
     ) -> BatchResult:
         """Serve a batch of ad-hoc queries: free hits, one accounted pass
@@ -1000,7 +1047,8 @@ class QueryService:
             "service.answer", dataset=dataset, queries=len(mats)
         ):
             result = self._answer_impl(
-                dataset, ds, mats, eps, rng, stage, run_kwargs
+                dataset, ds, mats, eps, rng, stage, run_kwargs,
+                deadline=deadline,
             )
             tid = _TRACER.current_trace_id()
         if tid is not None:
@@ -1033,6 +1081,7 @@ class QueryService:
         rng: np.random.Generator | int | None,
         stage: str,
         run_kwargs: dict,
+        deadline=None,
     ) -> BatchResult:
         answers: list[QueryAnswer | None] = [None] * len(mats)
         miss_idx: list[int] = []
@@ -1054,6 +1103,8 @@ class QueryService:
                     "and no eps was provided to measure them"
                 )
             blocks = [mats[i] for i in miss_idx]
+            if deadline is not None:
+                deadline.check("plan")  # routing-decision stage boundary
             with _TRACER.span("plan.route", misses=len(miss_idx)) as rspan:
                 mroute = self.route_misses(blocks)
                 if rspan is not None:
@@ -1082,6 +1133,7 @@ class QueryService:
                         stage,
                         cache=run_kwargs.get("cache", True),
                         cols=mroute.support_cols,
+                        deadline=deadline,
                     )
                 for i in miss_idx:
                     values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
@@ -1102,6 +1154,7 @@ class QueryService:
                     eps,
                     rng=rng,
                     stage=stage or "answer:misses",
+                    deadline=deadline,
                     **run_kwargs,
                 )
             charged = result.charged

@@ -23,7 +23,11 @@ run) and installed with :meth:`FaultInjector.active`:
 * :meth:`~FaultInjector.flip_bit` — a byte-level corruption applied to
   data flowing through the site (:func:`mangle`) or to the file just
   written there (:func:`mangle_file`), exercising the checksum /
-  quarantine paths.
+  quarantine paths;
+* :meth:`~FaultInjector.delay` — injected latency: chosen hits of a
+  site sleep for a fixed duration before proceeding, exercising the
+  serving edge's deadline, admission-queue, and circuit-breaker paths
+  (a slow dependency, not a dead one).
 
 Sites are plain strings (``"ledger.append.fsync"``,
 ``"registry.npz.replace"``, ...); the full list lives in the modules
@@ -40,6 +44,8 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
+
+from ..server import retry as _retry
 
 __all__ = [
     "FaultInjector",
@@ -76,12 +82,13 @@ class SimulatedCrash(BaseException):
 
 @dataclass
 class _Plan:
-    kind: str  # "crash" | "error" | "flip"
+    kind: str  # "crash" | "error" | "flip" | "delay"
     after: int = 1  # fire on the after-th hit of the site (1-based)
-    times: int = 1  # "error": how many consecutive hits raise
+    times: int = 1  # "error"/"delay": how many consecutive hits fire
     err: int = errno.ENOSPC
     byte: int = 0  # "flip": byte offset (negative = from the end)
     bit: int = 0  # "flip": bit index within the byte
+    seconds: float = 0.0  # "delay": injected latency per firing hit
     fired: int = 0
 
 
@@ -130,6 +137,22 @@ class FaultInjector:
         )
         return self
 
+    def delay(
+        self, site: str, seconds: float, times: int = 1, after: int = 1
+    ) -> "FaultInjector":
+        """Arm injected latency: hits ``after .. after+times-1`` of
+        ``site`` sleep ``seconds`` before the operation proceeds.  The
+        operation still *succeeds* — this simulates a slow dependency
+        (contended lock, cold cache, starved CPU), the failure mode that
+        deadlines and circuit breakers exist for and that crash/error
+        plans cannot produce."""
+        if seconds < 0:
+            raise ValueError(f"delay must be >= 0, got {seconds!r}")
+        self._plans.setdefault(site, []).append(
+            _Plan("delay", after=after, times=times, seconds=seconds)
+        )
+        return self
+
     # -- introspection -------------------------------------------------------
     def op_count(self, site: str) -> int:
         """How many times ``site`` has been hit while this injector was
@@ -144,7 +167,7 @@ class FaultInjector:
             self._counts[site] = op
             due = []
             for plan in self._plans.get(site, ()):
-                if plan.kind == "error":
+                if plan.kind in ("error", "delay"):
                     if plan.after <= op < plan.after + plan.times:
                         plan.fired += 1
                         due.append(plan)
@@ -155,8 +178,16 @@ class FaultInjector:
                 self.fired.append((site, plan.kind, op))
         return op, due
 
+    def _sleep_delays(self, due: list[_Plan]) -> None:
+        # Latency lands before any other plan on the same hit: a slow
+        # operation that then fails is the realistic composite.
+        for plan in due:
+            if plan.kind == "delay" and plan.seconds:
+                time.sleep(plan.seconds)
+
     def check(self, site: str) -> None:
         op, due = self._hit(site)
+        self._sleep_delays(due)
         for plan in due:
             if plan.kind == "crash":
                 raise SimulatedCrash(site, op)
@@ -165,8 +196,10 @@ class FaultInjector:
 
     def mangle(self, site: str, data: bytes) -> bytes:
         """Count a hit at ``site`` and apply any due corruption to
-        ``data`` (crash/error plans armed on the same site fire too)."""
+        ``data`` (crash/error/delay plans armed on the same site fire
+        too)."""
         op, due = self._hit(site)
+        self._sleep_delays(due)
         for plan in due:
             if plan.kind == "crash":
                 raise SimulatedCrash(site, op)
@@ -182,6 +215,7 @@ class FaultInjector:
         """Like :meth:`mangle`, for sites where the payload is written by
         third-party code (``np.savez``): corrupts the file in place."""
         op, due = self._hit(site)
+        self._sleep_delays(due)
         for plan in due:
             if plan.kind == "crash":
                 raise SimulatedCrash(site, op)
@@ -251,13 +285,23 @@ def retrying(
     no-op ``sleep``).  Anything else — including a transient errno that
     persists past the budget — propagates to the caller, which must leave
     durable state consistent (that is what the fault matrix proves).
+
+    The loop itself lives in :func:`repro.server.retry.call_retrying`
+    (the serving edge shares it, with jitter and a process-wide retry
+    budget); this wrapper pins ``jitter=False`` and an uncapped schedule
+    so the deterministic ``backoff * 2**attempt`` delays the fault
+    matrix asserts on are preserved exactly.
     """
-    delay = backoff
-    for attempt in range(retries + 1):
-        try:
-            return fn()
-        except OSError as e:
-            if e.errno not in RETRYABLE_ERRNOS or attempt == retries:
-                raise
-            sleep(delay)
-            delay *= 2
+    policy = _retry.RetryPolicy(
+        retries=retries,
+        base=backoff,
+        cap=backoff * (2 ** max(retries, 1)),
+        jitter=False,
+    )
+    return _retry.call_retrying(
+        fn,
+        policy=policy,
+        retryable=lambda e: isinstance(e, OSError)
+        and e.errno in RETRYABLE_ERRNOS,
+        sleep=sleep,
+    )

@@ -44,11 +44,23 @@ ledger path can never jointly overdraw a cap.  Within a process, a
 ``threading.RLock`` serializes threads first, so the flock only
 arbitrates between processes.  On platforms without ``fcntl`` the file
 lock degrades to thread-only safety (single-process use).
+
+By default acquisition blocks indefinitely — correct for the library's
+batch callers, where the lock holder is always making progress.  A
+*serving* caller holds a request deadline and must not park a thread
+behind a stuck or dead-slow peer: constructing the ledger with
+``lock_timeout`` switches acquisition to non-blocking attempts under
+jittered backoff (:mod:`repro.server.retry`) and raises
+:class:`LockTimeoutError` — a retryable condition, mapped to 503 at the
+serving edge — once the timeout elapses.  A lock timeout can only happen
+*before* the read-check-append cycle begins, so it never strands a
+committed debit.
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno as _errno
 import hashlib
 import json
 import logging
@@ -61,18 +73,51 @@ except ImportError:  # non-POSIX platform — single-process use only
     fcntl = None
 
 from ..obs.metrics import REGISTRY as _METRICS
+from ..server.retry import RetryPolicy as _RetryPolicy
 from . import faults
 
-__all__ = ["TornRecordError", "WriteAheadLedger", "decode_line", "encode_record"]
+__all__ = [
+    "LockTimeoutError",
+    "TornRecordError",
+    "WriteAheadLedger",
+    "decode_line",
+    "encode_record",
+]
 
 logger = logging.getLogger(__name__)
 
 _CRC_CHARS = 16
 LEDGER_VERSION = 1
 
+#: Backoff schedule for timed lock acquisition: decorrelated jitter up
+#: front (so colliding lockers spread out), then steady cap-paced polls.
+_LOCK_RETRY_POLICY = _RetryPolicy(retries=64, base=0.0005, cap=0.01)
+
+#: ``flock(LOCK_NB)`` signals "held by someone else" with either of
+#: these depending on the platform.
+_LOCK_HELD_ERRNOS = frozenset({_errno.EAGAIN, _errno.EACCES})
+
 
 class TornRecordError(ValueError):
     """A ledger line failed to parse or verify — the torn-tail marker."""
+
+
+class LockTimeoutError(TimeoutError):
+    """Timed acquisition of the ledger's cross-process lock gave up.
+
+    Raised only when the ledger was constructed with ``lock_timeout``;
+    always *before* any record was read or written, so retrying is safe
+    and spend state is untouched.
+    """
+
+    def __init__(self, path: str, timeout: float, waited: float):
+        self.path = str(path)
+        self.timeout = float(timeout)
+        self.waited = float(waited)
+        super().__init__(
+            f"could not acquire ledger lock {self.path!r} within "
+            f"{self.timeout:g}s (waited {self.waited:.3f}s)"
+        )
 
 
 def _canonical(record: dict) -> bytes:
@@ -113,10 +158,15 @@ class WriteAheadLedger:
     since, and :meth:`append` writes land after them.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, lock_timeout: float | None = None):
         self.path = str(path)
         self.offset = 0  # bytes of committed records consumed so far
         self._torn_at: int | None = None  # file offset of a detected torn tail
+        if lock_timeout is not None and not lock_timeout > 0:
+            raise ValueError(
+                f"lock_timeout must be positive or None, got {lock_timeout!r}"
+            )
+        self.lock_timeout = lock_timeout
         parent = os.path.dirname(os.path.abspath(self.path))
         if not os.path.isdir(parent):
             raise ValueError(
@@ -140,11 +190,36 @@ class WriteAheadLedger:
             return
         faults.check("ledger.lock")
         with open(self.path + ".lock", "a") as lock:
-            fcntl.flock(lock, fcntl.LOCK_EX)
+            if self.lock_timeout is None:
+                fcntl.flock(lock, fcntl.LOCK_EX)
+            else:
+                self._flock_timed(lock)
             try:
                 yield
             finally:
                 fcntl.flock(lock, fcntl.LOCK_UN)
+
+    def _flock_timed(self, lock) -> None:
+        """Non-blocking ``flock`` attempts under jittered backoff until
+        ``lock_timeout`` elapses, then :class:`LockTimeoutError`."""
+        start = time.monotonic()
+        give_up = start + self.lock_timeout
+        delays = _LOCK_RETRY_POLICY.delays()
+        while True:
+            try:
+                fcntl.flock(lock, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError as e:
+                if e.errno not in _LOCK_HELD_ERRNOS:
+                    raise
+            now = time.monotonic()
+            if now >= give_up:
+                raise LockTimeoutError(
+                    self.path + ".lock", self.lock_timeout, now - start
+                )
+            # After the jittered schedule runs out, keep polling at the cap.
+            delay = next(delays, _LOCK_RETRY_POLICY.cap)
+            time.sleep(min(delay, give_up - now))
 
     # -- reading -------------------------------------------------------------
     def read_new(self) -> list[dict]:

@@ -88,6 +88,7 @@ from ..core.solvers import export_gram_solver_state, restore_gram_solver_state
 from ..domain import Domain
 from ..obs.events import emit as _emit
 from ..obs.metrics import REGISTRY as _METRICS
+from ..server import retry as _retry
 from ..workload.logical import LogicalWorkload
 from . import faults
 from .fingerprint import workload_fingerprint
@@ -590,18 +591,26 @@ class StrategyRegistry:
         path = self._strategy_path(key)
         t0 = time.perf_counter()
         try:
-            faults.check("registry.load")
-            digest = _file_sha256(path)
-            expected = meta.get("sha256")
-            if expected is not None and digest != expected:
-                raise RegistryCorruptionError(
-                    f"strategy {key!r} failed its checksum: manifest records "
-                    f"sha256 {expected[:16]}…, file has {digest[:16]}…"
-                )
-            with np.load(path, allow_pickle=False) as npz:
-                payload = restore_arrays(
-                    json.loads(npz["__config__"].item()), npz
-                )
+            # Transient read faults (EINTR/EAGAIN/ENOSPC) retry under the
+            # shared backoff policy before the except-clause below would
+            # misclassify them as corruption and quarantine a good entry.
+            def _read_verified():
+                faults.check("registry.load")
+                digest = _file_sha256(path)
+                expected = meta.get("sha256")
+                if expected is not None and digest != expected:
+                    raise RegistryCorruptionError(
+                        f"strategy {key!r} failed its checksum: manifest "
+                        f"records sha256 {expected[:16]}…, file has "
+                        f"{digest[:16]}…"
+                    )
+                with np.load(path, allow_pickle=False) as npz:
+                    payload = restore_arrays(
+                        json.loads(npz["__config__"].item()), npz
+                    )
+                return digest, expected, payload
+
+            digest, expected, payload = _retry.call_retrying(_read_verified)
             strategy = matrix_from_config(payload["strategy"])
             restore_gram_solver_state(strategy, payload["solver"])
             # Stamp how many recycled Ritz vectors the entry carries so
