@@ -69,6 +69,14 @@ regress against it:
   structured 429/503 with ``Retry-After``, and the admitted ones must
   all complete.
 
+* **mechanisms** (PR 10) — the mechanism subsystem: Gaussian vs Laplace
+  serving the same strategy at equal per-release budget — analytic
+  ``rootmse`` predictions next to empirical trial RMSE for both (the
+  predictions must stay calibrated), the noise-scale ratio σ/b behind
+  the gap, and the accounting tax of the full zCDP fold (ε, δ, ρ
+  accumulated per debit, policy-checked) vs the pure-ε sum — whose ε
+  axis must stay **bit-identical** between the two folds.
+
 * **durability** (PR 6) — the crash-consistency tax: per-debit overhead
   of the fsync'd write-ahead ε-ledger vs the in-memory accountant,
   replay rate of :meth:`PrivacyAccountant.recover` (with a torn-tail
@@ -793,6 +801,106 @@ def bench_durability(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_mechanisms(
+    n: int = 64,
+    trials: int = 50,
+    n_debits: int = 500,
+    eps: float = 1.0,
+    delta: float = 1e-6,
+    rng: int = 13,
+) -> dict:
+    """Mechanism choice: Gaussian vs Laplace at equal budget, and the
+    zCDP accounting fold's per-debit tax vs the pure-ε sum."""
+    from repro.core import HDMM
+    from repro.optimize import opt_union
+    from repro.privacy.mechanisms import get_mechanism
+    from repro.service import PrivacyAccountant
+    from repro.workload import range_total_union
+
+    W = range_total_union(n)
+    result = opt_union(W, rng=0)
+    A = result.strategy
+    mech = HDMM(restarts=1, rng=0)
+    mech.workload, mech.strategy, mech.result = W, A, result
+    x = np.random.default_rng(3).poisson(50, W.shape[1]).astype(float)
+    truth = np.asarray(W.matvec(x)).reshape(-1)
+    mech.run(x, 1.0, rng=0)  # warm the structural caches, as fit() leaves them
+
+    out: dict = {
+        "workload": f"range-total-union-{n}",
+        "strategy": repr(A),
+        "domain": A.shape[1],
+        "trials": trials,
+        "eps": eps,
+        "delta": delta,
+    }
+    # Same strategy, same data, same per-release ε, same spawned seeds —
+    # only the noise mechanism differs.  The analytic rootmse (what the
+    # planner's rmse(lap)/rmse(gauss) columns print) must predict the
+    # empirical trial RMSE for both.
+    for name in ("laplace", "gaussian"):
+        m = get_mechanism(name, delta if name == "gaussian" else None)
+        predicted = float(m.rootmse(W, A, eps))
+        kwargs = {} if name == "laplace" else {
+            "mechanism": "gaussian", "delta": delta,
+        }
+        with Timer() as t:
+            answers = mech.run_batch(x, eps, trials=trials, rng=rng, **kwargs)
+        flat = answers.reshape(trials, -1)
+        empirical = float(np.sqrt(np.mean((flat - truth) ** 2)))
+        out[name] = {
+            "predicted_rmse": round(predicted, 4),
+            "empirical_rmse": round(empirical, 4),
+            "empirical_over_predicted": round(empirical / predicted, 4),
+            "sweep_seconds": round(t.elapsed, 4),
+        }
+    out["noise_scale_ratio_gauss_vs_lap"] = round(
+        float(get_mechanism("gaussian", delta).noise_scale(A, eps))
+        / float(get_mechanism("laplace").noise_scale(A, eps)),
+        4,
+    )
+    out["rmse_ratio_gaussian_vs_laplace"] = round(
+        out["gaussian"]["predicted_rmse"] / out["laplace"]["predicted_rmse"], 4
+    )
+    out["predictions_calibrated"] = bool(
+        all(
+            abs(out[k]["empirical_over_predicted"] - 1.0) < 0.25
+            for k in ("laplace", "gaussian")
+        )
+    )
+
+    # Accounting tax: identical debit traffic through the pure-ε fold
+    # and the full zCDP fold (ε, δ, ρ accumulated per record, policy
+    # checked on every debit).  The ε axis of both ledgers must come out
+    # bit-identical — same `+` sequence, richer records alongside it.
+    amt = eps / n_debits
+    pure = PrivacyAccountant()
+    pure.register("bench", 10.0)
+    with Timer() as t_pure:
+        for _ in range(n_debits):
+            pure.charge("bench", amt)
+    zcdp = PrivacyAccountant()
+    zcdp.register("bench", 10.0)
+    with Timer() as t_zcdp:
+        for _ in range(n_debits):
+            zcdp.charge("bench", amt, mechanism="gaussian", delta=delta)
+    curve = zcdp.curve("bench")
+    out["accounting"] = {
+        "n_debits": n_debits,
+        "pure_eps_debit_us": round(t_pure.elapsed / n_debits * 1e6, 2),
+        "zcdp_debit_us": round(t_zcdp.elapsed / n_debits * 1e6, 2),
+        "zcdp_overhead_us_per_debit": round(
+            (t_zcdp.elapsed - t_pure.elapsed) / n_debits * 1e6, 2
+        ),
+        "eps_fold_identical": bool(
+            zcdp.spent("bench") == pure.spent("bench")
+        ),
+        "delta_spent": curve.delta,
+        "rho_spent": curve.rho,
+    }
+    return out
+
+
 def bench_server(
     seq_reps: int = 200,
     pipeline_depth: int = 256,
@@ -1157,6 +1265,10 @@ def run(quick: bool = False, restarts: int | None = None, workers: int = 4) -> d
             shape=(16, 8, 4) if quick else (32, 16, 8),
             reps=30 if quick else 200,
             build_reps=2 if quick else 5),
+        "mechanisms": bench_mechanisms(
+            n=32 if quick else 64,
+            trials=10 if quick else 50,
+            n_debits=50 if quick else 500),
         "durability": bench_durability(
             n_debits=50 if quick else 500,
             n=16 if quick else 32,
@@ -1299,6 +1411,27 @@ def main() -> None:
             f"{ac['table_load_seconds'] * 1e3:.1f}ms",
         ],
     ]
+    mc = results["mechanisms"]
+    rows += [
+        [
+            f"mechanisms laplace sweep ({mc['trials']} trials)",
+            f"{mc['laplace']['sweep_seconds']:.3f}s",
+            f"rmse {mc['laplace']['empirical_rmse']:.1f} "
+            f"(predicted {mc['laplace']['predicted_rmse']:.1f})",
+        ],
+        [
+            f"mechanisms gaussian sweep (δ={mc['delta']:g})",
+            f"{mc['gaussian']['sweep_seconds']:.3f}s",
+            f"rmse {mc['gaussian']['empirical_rmse']:.1f} "
+            f"({mc['rmse_ratio_gaussian_vs_laplace']:.2f}x laplace)",
+        ],
+        [
+            "mechanisms zCDP debit",
+            f"{mc['accounting']['zcdp_debit_us']:.1f}us",
+            f"+{mc['accounting']['zcdp_overhead_us_per_debit']:.1f}us "
+            f"vs pure-ε fold",
+        ],
+    ]
     d = results["durability"]
     rows += [
         [
@@ -1376,6 +1509,12 @@ def main() -> None:
         "accelerator answers bit-identical to matvec path: "
         f"single {ac['single_hit_values_exact']} / "
         f"batch {ac['batch_values_exact']}"
+    )
+    print(
+        "mechanisms rmse predictions calibrated / ε fold bit-identical: "
+        f"{mc['predictions_calibrated']} / "
+        f"{mc['accounting']['eps_fold_identical']} "
+        f"(σ/b = {mc['noise_scale_ratio_gauss_vs_lap']:.2f})"
     )
     print(
         "durability recovery state exact / torn tail truncated: "
@@ -1558,6 +1697,28 @@ def test_bench_server_smoke():
     assert rec["free_pipelined_qps"] >= 10_000
     assert rec["overload"]["all_responses_structured"]
     assert rec["overload"]["shed_rate"] > 0.0
+
+
+def test_bench_mechanisms_smoke():
+    """Quick mechanisms case: the subsystem contracts must hold — the
+    analytic rootmse predictions stay calibrated against empirical trial
+    RMSE for both mechanisms, the two mechanisms genuinely differ at
+    equal budget, and the zCDP fold's ε axis stays bit-identical to the
+    pure-ε fold under identical debit traffic."""
+    mc = bench_mechanisms(n=16, trials=10, n_debits=50)
+    assert mc["predictions_calibrated"]
+    assert mc["rmse_ratio_gaussian_vs_laplace"] != 1.0
+    assert mc["accounting"]["eps_fold_identical"]
+    assert mc["accounting"]["delta_spent"] > 0.0
+    assert mc["accounting"]["rho_spent"] > 0.0
+    # The committed trajectory must already carry a mechanisms record so
+    # this benchmark cannot silently rot.
+    with open(DEFAULT_JSON) as f:
+        recorded = json.load(f)
+    rec = recorded["mechanisms"]
+    assert rec["predictions_calibrated"]
+    assert rec["accounting"]["eps_fold_identical"]
+    assert rec["trials"] >= 50
 
 
 def test_bench_durability_smoke():

@@ -26,7 +26,12 @@ The declarative layer (`repro.api`) puts those facts behind a planner:
 5. with `repro.obs` enabled, every answer carries a trace ID resolvable
    to the full span tree, the metrics registry counts answers by
    dataset × route, and `sess.budget_report()` renders the ε position
-   replayed from the accountant's ledger.
+   replayed from the accountant's ledger;
+6. the mechanism is a per-batch choice: the same plan prints expected
+   RMSE under Laplace *and* Gaussian at the same budget, `ask_many(...,
+   mechanism="gaussian", delta=...)` measures under (ε, δ)-DP via zCDP,
+   and an (ε, δ) budget policy refuses over-cap requests with a 403
+   body reporting the remaining budget in the policy's native unit.
 
 `matrix_level_demo` keeps the physical `QueryService` flow (hand-built
 implicit matrices) — the layer the planner compiles down to.
@@ -42,6 +47,8 @@ import numpy as np
 import repro.obs as obs
 from repro import workload
 from repro.api import A, Schema, Session, buckets, marginal, total
+from repro.privacy import ApproxDPPolicy
+from repro.server.errors import error_response
 from repro.service import (
     BudgetExceededError,
     PrivacyAccountant,
@@ -137,6 +144,57 @@ def declarative_demo(registry_dir: str) -> None:
     print(f"ledger: spent {ds.spent:g} / cap {EPS_CAP:g}\n")
 
     observability_demo(sess, ds)
+    mechanism_demo(sess, schema, data)
+
+
+def mechanism_demo(sess: Session, schema: Schema, data: np.ndarray) -> None:
+    print("=" * 64)
+    print("Mechanism choice: Laplace vs Gaussian at the same budget")
+    print("=" * 64)
+    # An (ε, δ) budget policy instead of a pure-ε cap: δ > 0 admits the
+    # Gaussian mechanism (δ = 0 would forbid it before any noise).
+    ds = sess.dataset(
+        "taxi-dp",
+        schema=schema,
+        data=data,
+        policy=ApproxDPPolicy(2.0, 1e-5),
+    )
+    exprs = [marginal("x"), total(), A("y").between(0, 7)]
+
+    # One plan, both mechanisms' expected error: the rmse(lap)/rmse(gauss)
+    # columns compare the noise each mechanism would add for the *same*
+    # ε (Gaussian calibrated through zCDP at this δ, from L2 instead of
+    # L1 sensitivity).  The mechanism= header records which one the
+    # batch would actually measure under.
+    plan = ds.plan(exprs, eps=1.0, mechanism="gaussian", delta=1e-6)
+    print(plan.explain())
+    print()
+
+    answers = ds.ask_many(exprs, eps=1.0, mechanism="gaussian",
+                          delta=1e-6, rng=11)
+    # Replanning against the fitted strategy fills both RMSE columns:
+    # the side-by-side is the σ/b gap between L2- and L1-calibrated
+    # noise on this strategy, at identical ε.
+    print("replanned against the fitted strategy (both columns priced):")
+    print(ds.plan(exprs, eps=1.0, mechanism="gaussian", delta=1e-6).explain())
+    print()
+    acct = sess.service.accountant
+    curve = acct.curve("taxi-dp")
+    print(f"measured under mechanism={answers[0].mechanism!r}: "
+          f"ε spent {curve.epsilon:g}, δ spent {curve.delta:g}, "
+          f"ρ position {curve.rho:.4g}")
+    print(f"remaining (native units): {acct.native_remaining('taxi-dp')}")
+    print()
+
+    # Over-cap refusal, as the HTTP front-end reports it: the 403 body
+    # names the active policy and the exact remaining (ε, δ).
+    try:
+        acct.check("taxi-dp", 100.0, mechanism="gaussian", delta=1e-6)
+    except BudgetExceededError as e:
+        status, _, body = error_response(e)
+        print(f"over-cap request → HTTP {status}: policy={body['policy']!r} "
+              f"remaining={body['remaining']}")
+    print()
 
 
 def observability_demo(sess: Session, ds) -> None:

@@ -37,7 +37,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.error import rootmse
+from ..core.privacy import DEFAULT_DELTA
 from ..linalg import Matrix, VStack
+from ..privacy.mechanisms import get_mechanism
 from ..obs.metrics import REGISTRY as _METRICS
 from ..obs.trace import TRACER as _TRACER
 from ..service.accelerator import range_spec_of
@@ -176,6 +178,28 @@ class PlanEntry:
     epsilon: float | None
     expected_rmse: float | None = None
     detail: str = ""
+    #: Mechanism this group serves under: the cached reconstruction's
+    #: for free hits, the plan's requested mechanism for misses.
+    mechanism: str = "laplace"
+    #: Expected RMSE under the *other* mechanism at the same budget —
+    #: the Laplace-vs-Gaussian comparison surfaced by ``explain()``.
+    expected_rmse_alt: float | None = None
+
+    @property
+    def rmse_laplace(self) -> float | None:
+        return (
+            self.expected_rmse
+            if self.mechanism == "laplace"
+            else self.expected_rmse_alt
+        )
+
+    @property
+    def rmse_gaussian(self) -> float | None:
+        return (
+            self.expected_rmse
+            if self.mechanism == "gaussian"
+            else self.expected_rmse_alt
+        )
 
 
 @dataclass
@@ -195,6 +219,8 @@ class Plan:
     batch: CompiledBatch
     entries: list[PlanEntry] = field(default_factory=list)
     eps: float | None = None
+    mechanism: str = "laplace"
+    delta: float = DEFAULT_DELTA
 
     @property
     def total_epsilon(self) -> float:
@@ -233,18 +259,24 @@ class Plan:
             f"{len(self.batch.queries)} distinct, "
             f"estimated ε = {self.total_epsilon:g}"
         )
-        header = ["route", "queries", "rows", "ε", "rmse≈", "key", "detail"]
+        if self.mechanism != "laplace":
+            head += f", mechanism = {self.mechanism} (δ = {self.delta:g})"
+
+        def _rmse(v: float | None) -> str:
+            return f"{v:.3g}" if v is not None else "—"
+
+        header = [
+            "route", "queries", "rows", "ε",
+            "rmse(lap)≈", "rmse(gauss)≈", "key", "detail",
+        ]
         rows = [
             [
                 e.route,
                 str(len(e.indices)),
                 str(e.rows),
                 f"{e.epsilon:g}" if e.epsilon is not None else "required",
-                (
-                    f"{e.expected_rmse:.3g}"
-                    if e.expected_rmse is not None
-                    else "—"
-                ),
+                _rmse(e.rmse_laplace),
+                _rmse(e.rmse_gaussian),
                 f"{e.key[:12]}…" if e.key else "—",
                 e.detail or "—",
             ]
@@ -261,7 +293,7 @@ class Plan:
             # Left-align text columns (route, key, detail), right-align
             # the numeric ones.
             cells = [
-                row[j].ljust(widths[j]) if j in (0, 5, 6) else row[j].rjust(widths[j])
+                row[j].ljust(widths[j]) if j in (0, 6, 7) else row[j].rjust(widths[j])
                 for j in range(len(header))
             ]
             return "  " + "  ".join(cells).rstrip()
@@ -280,15 +312,36 @@ class Plan:
         )
 
 
-def _safe_rmse(W: Matrix, A: Matrix, eps: float) -> float | None:
-    """Definition 7 per-query RMSE, or None where the structured error
-    algebra does not cover the (workload, strategy) pairing."""
+def _safe_rmse(
+    W: Matrix,
+    A: Matrix,
+    eps: float,
+    mechanism: str = "laplace",
+    delta: float = DEFAULT_DELTA,
+) -> float | None:
+    """Definition 7 per-query RMSE under the chosen mechanism, or None
+    where the structured error algebra does not cover the (workload,
+    strategy) pairing."""
     if eps <= 0:
         return None
     try:
-        return float(rootmse(W, A, eps))
+        return float(rootmse(W, A, eps, mechanism=mechanism, delta=delta))
     except Exception:
         return None
+
+
+def _rmse_pair(
+    W: Matrix, A: Matrix, eps: float | None, mechanism: str, delta: float
+) -> tuple[float | None, float | None]:
+    """(RMSE under ``mechanism``, RMSE under the other mechanism) at the
+    same per-group budget — the planner's Laplace-vs-Gaussian column."""
+    if eps is None:
+        return None, None
+    alt = "gaussian" if mechanism == "laplace" else "laplace"
+    return (
+        _safe_rmse(W, A, eps, mechanism=mechanism, delta=delta),
+        _safe_rmse(W, A, eps, mechanism=alt, delta=delta),
+    )
 
 
 def _stack(mats: list[Matrix]) -> Matrix:
@@ -300,18 +353,23 @@ def plan_queries(
     dataset: str,
     batch: CompiledBatch,
     eps: float | None = None,
+    mechanism: str = "laplace",
+    delta: float | None = None,
 ) -> Plan:
     """Route a compiled batch without spending any budget.
 
     Mirrors :meth:`repro.service.QueryService.answer`'s serving decisions
     exactly — same span checks, same warm-strategy probe, same
     direct-path thresholds — so the plan's routes and ε estimates are
-    what execution will do, not a guess.
+    what execution will do, not a guess.  ``mechanism``/``delta`` select
+    the noise mechanism the misses would be measured under; the plan's
+    RMSE columns compare Laplace vs Gaussian at the same budget either
+    way.
     """
     with _TRACER.span(
         "plan.route", dataset=dataset, queries=len(batch.queries)
     ):
-        plan = _plan_queries_impl(service, dataset, batch, eps)
+        plan = _plan_queries_impl(service, dataset, batch, eps, mechanism, delta)
     if _METRICS.enabled:
         _METRICS.counter("planner.plans_total", dataset=dataset).inc()
         for e in plan.entries:
@@ -330,8 +388,15 @@ def _plan_queries_impl(
     dataset: str,
     batch: CompiledBatch,
     eps: float | None = None,
+    mechanism: str = "laplace",
+    delta: float | None = None,
 ) -> Plan:
-    plan = Plan(dataset=dataset, batch=batch, eps=eps)
+    mech = get_mechanism(mechanism, delta)
+    mech_delta = getattr(mech, "delta", DEFAULT_DELTA)
+    plan = Plan(
+        dataset=dataset, batch=batch, eps=eps,
+        mechanism=mech.name, delta=mech_delta,
+    )
     if not batch.queries:
         return plan
 
@@ -353,22 +418,29 @@ def _plan_queries_impl(
             hit_groups.setdefault((key, route), []).append(i)
     for (key, route), idxs in hit_groups.items():
         recon = service.cached_reconstruction(dataset, key)
-        rmse = None
+        rmse = rmse_alt = None
+        hit_mech = "laplace"
         if recon is not None:
-            # The RMSE estimate depends only on (strategy, group, ε), so
-            # re-planning the same traffic reuses it — a warm plan must
-            # never cost more than a cold one.
+            # The RMSE estimate depends only on (strategy, group, ε,
+            # mechanism), so re-planning the same traffic reuses it — a
+            # warm plan must never cost more than a cold one.  A hit
+            # serves from the cached reconstruction, so its column is the
+            # mechanism that measurement was actually released under.
+            hit_mech = recon.mechanism
             digest = hashlib.sha256(
                 "|".join(batch.queries[i].fingerprint for i in idxs).encode()
             ).hexdigest()[:16]
-            memo_key = f"plan_rmse:{digest}:{recon.eps!r}"
+            memo_key = f"plan_rmse:{digest}:{recon.eps!r}:{hit_mech}"
             memo = recon.strategy.cache_get(memo_key)
             if memo is None:
                 W = _stack([batch.queries[i].matrix for i in idxs])
                 memo = recon.strategy.cache_set(
-                    memo_key, (_safe_rmse(W, recon.strategy, recon.eps),)
+                    memo_key,
+                    _rmse_pair(
+                        W, recon.strategy, recon.eps, hit_mech, mech_delta
+                    ),
                 )
-            rmse = memo[0]
+            rmse, rmse_alt = memo
         plan.entries.append(
             PlanEntry(
                 route=route,
@@ -382,6 +454,8 @@ def _plan_queries_impl(
                     if route == "accelerator"
                     else "measured-span projection"
                 ),
+                mechanism=hit_mech,
+                expected_rmse_alt=rmse_alt,
             )
         )
     if not miss:
@@ -399,10 +473,8 @@ def _plan_queries_impl(
     eps_est: float | None = float(eps) if eps is not None else None
 
     if mroute.route == "warm":
-        rmse = (
-            _safe_rmse(W_miss, mroute.strategy, eps_est)
-            if eps_est is not None
-            else None
+        rmse, rmse_alt = _rmse_pair(
+            W_miss, mroute.strategy, eps_est, mech.name, mech_delta
         )
         plan.entries.append(
             PlanEntry(
@@ -413,6 +485,8 @@ def _plan_queries_impl(
                 epsilon=eps_est,
                 expected_rmse=rmse,
                 detail="strategy already fitted",
+                mechanism=mech.name,
+                expected_rmse_alt=rmse_alt,
             )
         )
         return plan
@@ -429,15 +503,18 @@ def _plan_queries_impl(
                     epsilon=0.0 if eps_est is not None else None,
                     expected_rmse=0.0,
                     detail="empty support: constant 0, data-independent",
+                    mechanism=mech.name,
                 )
             )
             return plan
-        rmse = None
+        rmse = rmse_alt = None
         if eps_est is not None:
             from ..service.engine import selection_matrix
 
             S = selection_matrix(cols, batch.domain.size())
-            rmse = _safe_rmse(W_miss, S, eps_est)
+            rmse, rmse_alt = _rmse_pair(
+                W_miss, S, eps_est, mech.name, mech_delta
+            )
         plan.entries.append(
             PlanEntry(
                 route="direct",
@@ -447,6 +524,8 @@ def _plan_queries_impl(
                 epsilon=eps_est,
                 expected_rmse=rmse,
                 detail=f"selection measurement on {cols.size} cells",
+                mechanism=mech.name,
+                expected_rmse_alt=rmse_alt,
             )
         )
         return plan
@@ -460,6 +539,7 @@ def _plan_queries_impl(
             epsilon=eps_est,
             expected_rmse=None,
             detail="fitting template will run (RMSE known after SELECT)",
+            mechanism=mech.name,
         )
     )
     return plan

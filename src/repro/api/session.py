@@ -75,6 +75,10 @@ class Answer:
     #: Trace this answer was served under (None when tracing is off) —
     #: resolvable to the full span tree via ``repro.obs.get_trace``.
     trace_id: str | None = None
+    #: Noise mechanism behind the values ("laplace"/"gaussian"): the
+    #: mechanism of this batch's measurement for misses, and of the
+    #: cached measurement being reused for free hits.
+    mechanism: str = "laplace"
 
     @property
     def value(self) -> float:
@@ -131,10 +135,25 @@ class Dataset:
             exprs, self.schema, compile_one=lambda e, _s: self.compile(e)
         )
 
-    def plan(self, exprs, eps: float | None = None) -> Plan:
-        """Route a batch without executing it: inspect before you spend."""
+    def plan(
+        self,
+        exprs,
+        eps: float | None = None,
+        mechanism: str = "laplace",
+        delta: float | None = None,
+    ) -> Plan:
+        """Route a batch without executing it: inspect before you spend.
+
+        ``mechanism``/``delta`` mirror :meth:`ask_many`'s measurement
+        options; either way the plan's RMSE columns compare Laplace vs
+        Gaussian at the same budget."""
         return plan_queries(
-            self.session.service, self.name, self.compile_many(exprs), eps
+            self.session.service,
+            self.name,
+            self.compile_many(exprs),
+            eps,
+            mechanism=mechanism,
+            delta=delta,
         )
 
     # -- execution ----------------------------------------------------------
@@ -210,6 +229,7 @@ class Dataset:
                     span_projected=bool(qa.hit),
                     remaining=remaining,
                     trace_id=trace_id,
+                    mechanism=qa.mechanism,
                 )
             )
         return out
@@ -263,16 +283,25 @@ class Session:
         schema: Schema | None = None,
         data: np.ndarray | None = None,
         epsilon_cap: float | None = None,
+        policy=None,
     ) -> Dataset:
         """Register (or fetch) a dataset handle.
 
         ``data`` is the contingency table: either the flat vector over
         the schema's full domain, or the data tensor of shape
         ``schema.domain.shape()`` (flattened in C order — the same
-        vectorization the compiled queries use).
+        vectorization the compiled queries use).  ``epsilon_cap``
+        registers a pure-ε budget; ``policy`` registers any
+        :class:`~repro.privacy.policy.BudgetPolicy` (an (ε, δ) cap or a
+        ρ-zCDP cap) instead.
         """
         if name in self._datasets:
-            if schema is not None or data is not None or epsilon_cap is not None:
+            if (
+                schema is not None
+                or data is not None
+                or epsilon_cap is not None
+                or policy is not None
+            ):
                 raise ValueError(
                     f"dataset {name!r} is already registered; fetch it "
                     "without schema/data/epsilon_cap (budget caps are "
@@ -299,7 +328,7 @@ class Session:
                 f"{dict(zip(schema.domain.attributes, schema.domain.sizes))} "
                 f"has size {schema.domain.size()}"
             )
-        self.service.add_dataset(name, x, epsilon_cap=epsilon_cap)
+        self.service.add_dataset(name, x, epsilon_cap=epsilon_cap, policy=policy)
         handle = Dataset(self, name, schema)
         self._datasets[name] = handle
         return handle

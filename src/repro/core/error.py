@@ -36,7 +36,8 @@ from ..linalg import (
     Weighted,
 )
 from ..workload.util import as_union_of_products
-from .solvers import validate_epsilon
+from .privacy import DEFAULT_DELTA, gaussian_sigma
+from .solvers import validate_budget, validate_epsilon
 
 
 def gram_inverse_trace(AtA: np.ndarray, V: np.ndarray) -> float:
@@ -145,24 +146,51 @@ def squared_error(W: Matrix, A: Matrix) -> float:
 
 
 def expected_error(
-    W: Matrix, A: Matrix, eps: float | np.ndarray = 1.0
+    W: Matrix,
+    A: Matrix,
+    eps: float | np.ndarray = 1.0,
+    mechanism: str = "laplace",
+    delta: float = DEFAULT_DELTA,
 ) -> float | np.ndarray:
-    """Definition 7 in full: ``(2/ε²) · ‖A‖₁² · ‖W A⁺‖_F²``.
+    """Expected total squared error at budget ε (vectorized over ε).
 
-    Vectorized over ε: an array of budgets returns the error at each one
-    with a single strategy-error evaluation (``squared_error`` is
-    ε-independent) — the closed-form half of a batched ε sweep.
+    For the Laplace mechanism this is Definition 7 in full:
+    ``(2/ε²) · ‖A‖₁² · ‖W A⁺‖_F²``.  Every structured ``squared_error``
+    path is the per-measurement Laplace variance at ε = √2 (i.e. ``‖A‖₁²``)
+    times an effective trace term ``‖W A⁺‖_F²``, so the Gaussian value is
+    the same trace term scaled by the Gaussian per-measurement variance
+    instead: ``σ(Δ₂, ε, δ)² · ‖W A⁺‖_F²``.  Only one strategy-error
+    evaluation is needed either way (``squared_error`` is ε-independent) —
+    the closed-form half of a batched ε sweep.
     """
     eps_arr = validate_epsilon(eps)
-    out = 2.0 / eps_arr**2 * squared_error(W, A)
+    if mechanism == "laplace":
+        out = 2.0 / eps_arr**2 * squared_error(W, A)
+    elif mechanism == "gaussian":
+        validate_budget(delta=delta)
+        # squared_error / ‖A‖₁² is the effective trace term; the strategy-
+        # scaling invariance holds because σ ∝ Δ₂ picks the weight back up.
+        sigma = np.asarray(gaussian_sigma(A.sensitivity(p=2), eps_arr, delta))
+        out = sigma**2 * (squared_error(W, A) / A.sensitivity() ** 2)
+    else:
+        raise ValueError(
+            f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}"
+        )
     return float(out) if eps_arr.ndim == 0 else out
 
 
 def rootmse(
-    W: Matrix, A: Matrix, eps: float | np.ndarray = 1.0
+    W: Matrix,
+    A: Matrix,
+    eps: float | np.ndarray = 1.0,
+    mechanism: str = "laplace",
+    delta: float = DEFAULT_DELTA,
 ) -> float | np.ndarray:
     """Root mean squared error per workload query (vectorized over ε)."""
-    out = np.sqrt(np.asarray(expected_error(W, A, eps)) / W.shape[0])
+    out = np.sqrt(
+        np.asarray(expected_error(W, A, eps, mechanism=mechanism, delta=delta))
+        / W.shape[0]
+    )
     return float(out) if np.ndim(eps) == 0 else out
 
 

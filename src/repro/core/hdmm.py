@@ -36,9 +36,33 @@ from ..optimize import OptResult, opt_hdmm
 from ..optimize.parallel import spawn_seeds
 from ..workload.logical import LogicalWorkload, as_workload_matrix
 from .error import expected_error, rootmse
-from .measure import laplace_measure, laplace_measure_batch
+from .measure import (
+    gaussian_measure,
+    gaussian_measure_batch,
+    laplace_measure,
+    laplace_measure_batch,
+)
+from .privacy import DEFAULT_DELTA
 from .reconstruct import answer_workload, least_squares, resolves_to_direct
 from .solvers import validate_epsilon, validate_positive_int
+
+
+def _measure_once(A, x, eps, rng, mechanism, delta):
+    if mechanism == "laplace":
+        return laplace_measure(A, x, eps, rng)
+    if mechanism == "gaussian":
+        return gaussian_measure(A, x, eps, rng, delta=delta)
+    raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
+
+
+def _measure_grid(A, x, eps, rng, mechanism, delta, columnwise):
+    if mechanism == "laplace":
+        return laplace_measure_batch(A, x, eps, rng=rng, columnwise=columnwise)
+    if mechanism == "gaussian":
+        return gaussian_measure_batch(
+            A, x, eps, rng=rng, columnwise=columnwise, delta=delta
+        )
+    raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
 
 
 class HDMM:
@@ -99,9 +123,13 @@ class HDMM:
         eps: float,
         rng: np.random.Generator | int | None = None,
         return_data_vector: bool = False,
+        mechanism: str = "laplace",
+        delta: float = DEFAULT_DELTA,
         **solver_kwargs,
     ):
-        """Answer the fitted workload on data vector ``x`` under ε-DP.
+        """Answer the fitted workload on data vector ``x`` under ε-DP
+        (``mechanism="laplace"``, the default) or (ε, δ)-DP
+        (``mechanism="gaussian"``, calibrated through zCDP at ``delta``).
 
         Returns the noisy workload answers; with
         ``return_data_vector=True`` also returns the inferred x̄.
@@ -109,7 +137,7 @@ class HDMM:
         :func:`~repro.core.reconstruct.least_squares`.
         """
         A = self._require_fitted()
-        y = laplace_measure(A, x, eps, rng)
+        y = _measure_once(A, x, eps, rng, mechanism, delta)
         x_hat = least_squares(A, y, **solver_kwargs)
         answers = answer_workload(self.workload, x_hat)
         if return_data_vector:
@@ -126,6 +154,8 @@ class HDMM:
         warm_start: bool = True,
         exact: bool = False,
         return_data_vector: bool = False,
+        mechanism: str = "laplace",
+        delta: float = DEFAULT_DELTA,
         **solver_kwargs,
     ):
         """Batched serving: answer a grid of (ε, trial) pairs in one pass.
@@ -186,7 +216,9 @@ class HDMM:
                     "trials > 1 requires a single shared data vector; got a "
                     f"(n, {x.shape[1]}) batch with trials={trials}"
                 )
-            Y = laplace_measure_batch(A, x, eps_arr, rng=rng, columnwise=exact)
+            Y = _measure_grid(
+                A, x, eps_arr, rng, mechanism, delta, columnwise=exact
+            )
             X_hat = least_squares(
                 A, Y, method=method, columnwise=exact, **solver_kwargs
             )
@@ -200,7 +232,9 @@ class HDMM:
         k = eps_arr.size
         T = k * trials
         eps_flat = np.repeat(eps_arr, trials)  # flat trial j = e * trials + r
-        Y = laplace_measure_batch(A, x, eps_flat, rng=rng, columnwise=exact)
+        Y = _measure_grid(
+            A, x, eps_flat, rng, mechanism, delta, columnwise=exact
+        )
 
         if warm_start and k > 1 and not resolves_to_direct(
             A, method, solver_kwargs.get("dense_pinv_limit")
@@ -239,14 +273,28 @@ class HDMM:
         return spawn_seeds(rng, total)
 
     # -- diagnostics ---------------------------------------------------------
-    def expected_error(self, eps: float | np.ndarray = 1.0) -> float | np.ndarray:
+    def expected_error(
+        self,
+        eps: float | np.ndarray = 1.0,
+        mechanism: str = "laplace",
+        delta: float = DEFAULT_DELTA,
+    ) -> float | np.ndarray:
         """Definition 7 expected total squared error of the fitted strategy
-        (vectorized over an ε grid)."""
+        (vectorized over an ε grid) under the chosen mechanism."""
         self._require_fitted()
-        return expected_error(self.workload, self.strategy, eps)
+        return expected_error(
+            self.workload, self.strategy, eps, mechanism=mechanism, delta=delta
+        )
 
-    def expected_rootmse(self, eps: float | np.ndarray = 1.0) -> float | np.ndarray:
+    def expected_rootmse(
+        self,
+        eps: float | np.ndarray = 1.0,
+        mechanism: str = "laplace",
+        delta: float = DEFAULT_DELTA,
+    ) -> float | np.ndarray:
         """Per-query root mean squared error of the fitted strategy
-        (vectorized over an ε grid)."""
+        (vectorized over an ε grid) under the chosen mechanism."""
         self._require_fitted()
-        return rootmse(self.workload, self.strategy, eps)
+        return rootmse(
+            self.workload, self.strategy, eps, mechanism=mechanism, delta=delta
+        )

@@ -1,6 +1,7 @@
-"""MEASURE: the Laplace mechanism in vector form (paper Definition 6).
+"""MEASURE: the Laplace and Gaussian mechanisms in vector form.
 
-Given a strategy matrix A and a data vector x, releases::
+Given a strategy matrix A and a data vector x, the Laplace mechanism
+(paper Definition 6) releases::
 
     y = A x + Lap(‖A‖₁ / ε)^m
 
@@ -9,20 +10,31 @@ column sum) equals the L1 sensitivity of the strategy query set: one
 record added to or removed from the database changes each column of the
 answer vector by at most that column's absolute sum.
 
+The Gaussian mechanism releases ``y = A x + N(0, σ²)^m`` with σ
+calibrated from the *L2* sensitivity (maximum column Euclidean norm,
+``A.sensitivity(p=2)``) through the zCDP curve of
+:mod:`repro.core.privacy`: the ``eps`` argument is the target ε at the
+mechanism's δ, mapped to ``ρ = eps_to_rho(ε, δ)`` and
+``σ = Δ₂·sqrt(1/(2ρ))``.  Strategies whose L2 sensitivity is far below
+their L1 sensitivity (deep hierarchies, stacked marginals) gain the
+corresponding factor in noise at the same budget.
+
 Serving batches: every experiment (and any deployment of a fitted
 strategy) measures the *same* strategy across many noise trials, ε
-values, and data vectors.  :func:`laplace_measure_batch` answers a whole
-trial grid in one call — the strategy answers are computed once per
-distinct data vector, and the noise for trial ``j`` is drawn from child
-``j`` of the caller's seed (``SeedSequence.spawn``).  The determinism
-contract mirrors ``optimize/parallel.py``: the batched measurements are
-bit-identical to the sequential loop ::
+values, and data vectors.  :func:`laplace_measure_batch` /
+:func:`gaussian_measure_batch` answer a whole trial grid in one call —
+the strategy answers are computed once per distinct data vector, and the
+noise for trial ``j`` is drawn from child ``j`` of the caller's seed
+(``SeedSequence.spawn``).  The determinism contract mirrors
+``optimize/parallel.py``: the batched measurements are bit-identical to
+the sequential loop ::
 
     seeds = spawn_seeds(rng, T)
     [laplace_measure(A, x_j, eps_j, rng=seeds[j]) for j in range(T)]
 
-for any batch composition, because randomness is assigned by trial index
-and the noise-free answers are computed by the same mat-vec.
+for any batch composition (and identically for the Gaussian pair),
+because randomness is assigned by trial index and the noise-free answers
+are computed by the same mat-vec.
 """
 
 from __future__ import annotations
@@ -31,7 +43,13 @@ import numpy as np
 
 from ..linalg import Matrix
 from ..optimize.parallel import spawn_seeds
-from .solvers import apply_columnwise, validate_epsilon, validate_positive_int
+from .privacy import DEFAULT_DELTA, gaussian_sigma
+from .solvers import (
+    apply_columnwise,
+    validate_budget,
+    validate_epsilon,
+    validate_positive_int,
+)
 
 
 def laplace_noise(
@@ -118,6 +136,15 @@ def laplace_measure_batch(
     -------
     The measurement matrix Y, shape (m, T).
     """
+    answers, eps_arr, T = _batch_answers(A, x, eps, trials, columnwise)
+    scales = np.broadcast_to(A.sensitivity() / eps_arr, (T,))
+    return answers + laplace_noise(np.ascontiguousarray(scales), A.shape[0], rng)
+
+
+def _batch_answers(A, x, eps, trials, columnwise):
+    """Shared input policy of the batched mechanisms: validate the trial
+    grid, compute the noise-free strategy answers once, and return
+    ``(answers, eps_arr, T)``."""
     x = np.asarray(x, dtype=np.float64)
     eps_arr = validate_epsilon(eps)
     if eps_arr.ndim > 1:
@@ -152,13 +179,106 @@ def laplace_measure_batch(
             answers = A.matmat(x)
     else:
         raise ValueError(f"x must be 1-D or 2-D, got shape {x.shape}")
-
-    scales = np.broadcast_to(A.sensitivity() / eps_arr, (T,))
-    return answers + laplace_noise(np.ascontiguousarray(scales), A.shape[0], rng)
+    return answers, eps_arr, T
 
 
-def measurement_variance(A: Matrix, eps: float | np.ndarray) -> float | np.ndarray:
-    """Per-measurement noise variance ``2(‖A‖₁/ε)²`` (vectorized over ε)."""
+def gaussian_noise(
+    sigma: float | np.ndarray,
+    size: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Draw i.i.d. N(0, sigma²) samples.
+
+    Exactly :func:`laplace_noise`'s seeding contract with a Gaussian
+    distribution: a scalar ``sigma`` is one stream; a length-T array
+    returns a ``(size, T)`` matrix whose column ``j`` is drawn from child
+    ``j`` of ``rng`` (``SeedSequence.spawn``), bit-identical to looping
+    the scalar call with the spawned seeds.
+    """
+    sigmas = np.asarray(sigma, dtype=np.float64)
+    if np.any(sigmas < 0):
+        raise ValueError("noise scale must be non-negative")
+    if sigmas.ndim == 0:
+        rng = np.random.default_rng(rng)
+        if sigmas == 0:
+            return np.zeros(size)
+        return rng.normal(0.0, float(sigmas), size)
+    if sigmas.ndim != 1:
+        raise ValueError(f"sigma must be a scalar or 1-D array, got {sigmas.shape}")
+    out = np.zeros((size, sigmas.size))
+    for j, seed in enumerate(spawn_seeds(rng, sigmas.size)):
+        if sigmas[j] > 0:
+            out[:, j] = np.random.default_rng(seed).normal(0.0, sigmas[j], size)
+    return out
+
+
+def gaussian_measure(
+    A: Matrix,
+    x: np.ndarray,
+    eps: float,
+    rng: np.random.Generator | int | None = None,
+    delta: float = DEFAULT_DELTA,
+) -> np.ndarray:
+    """The (ε, δ)-DP Gaussian measurement ``y = Ax + N(0, σ²)``.
+
+    σ is calibrated from the strategy's L2 sensitivity through zCDP
+    (see the module docstring); the release satisfies
+    ``eps_to_rho(ε, δ)``-zCDP and hence (ε, δ)-DP.
+    """
     eps_arr = validate_epsilon(eps)
-    out = 2.0 * (A.sensitivity() / eps_arr) ** 2
+    if eps_arr.ndim != 0:
+        raise ValueError(f"eps must be a scalar, got shape {eps_arr.shape}")
+    validate_budget(delta=delta)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (A.shape[1],):
+        raise ValueError(f"data vector must have length {A.shape[1]}, got {x.shape}")
+    answers = A.matvec(x)
+    sigma = gaussian_sigma(A.sensitivity(p=2), float(eps_arr), delta)
+    return answers + gaussian_noise(sigma, answers.shape[0], rng)
+
+
+def gaussian_measure_batch(
+    A: Matrix,
+    x: np.ndarray,
+    eps: float | np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    trials: int | None = None,
+    columnwise: bool = False,
+    delta: float = DEFAULT_DELTA,
+) -> np.ndarray:
+    """A batch of (ε, δ)-DP Gaussian measurements — the Gaussian twin of
+    :func:`laplace_measure_batch`, with the identical batching, seeding,
+    and bitwise-determinism contract (trial ``j`` draws from spawned
+    child ``j``)."""
+    validate_budget(delta=delta)
+    answers, eps_arr, T = _batch_answers(A, x, eps, trials, columnwise)
+    sigmas = np.broadcast_to(
+        gaussian_sigma(A.sensitivity(p=2), eps_arr, delta), (T,)
+    )
+    return answers + gaussian_noise(np.ascontiguousarray(sigmas), A.shape[0], rng)
+
+
+def measurement_variance(
+    A: Matrix,
+    eps: float | np.ndarray,
+    mechanism: str = "laplace",
+    delta: float = DEFAULT_DELTA,
+) -> float | np.ndarray:
+    """Per-measurement noise variance at budget ε (vectorized over ε).
+
+    ``2(‖A‖₁/ε)²`` for the Laplace mechanism; ``σ(Δ₂, ε, δ)²`` for the
+    Gaussian mechanism.
+    """
+    eps_arr = validate_epsilon(eps)
+    if mechanism == "laplace":
+        out = 2.0 * (A.sensitivity() / eps_arr) ** 2
+    elif mechanism == "gaussian":
+        validate_budget(delta=delta)
+        out = np.asarray(
+            gaussian_sigma(A.sensitivity(p=2), eps_arr, delta)
+        ) ** 2
+    else:
+        raise ValueError(
+            f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}"
+        )
     return float(out) if eps_arr.ndim == 0 else out

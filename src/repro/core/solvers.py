@@ -142,6 +142,46 @@ def validate_epsilon(eps, name: str = "eps") -> np.ndarray:
     return eps_arr
 
 
+def validate_budget(
+    eps=None, delta=None, rho=None, name: str = "budget"
+) -> dict[str, np.ndarray]:
+    """Check a privacy budget in any of its native units.
+
+    The generalization of :func:`validate_epsilon` that the mechanism
+    subsystem, the accountant's policies, and the server request parser
+    share: ``eps`` and ``rho`` must be finite and strictly positive
+    (scalars or grids, like ``validate_epsilon``); ``delta`` must be
+    finite with 0 ≤ δ < 1.  At least one component must be given.
+    Returns a dict keyed by component name with the validated float64
+    ndarrays (0-d for scalars) — callers unpack what they passed.
+    """
+    if eps is None and delta is None and rho is None:
+        raise ValueError(
+            f"privacy budget {name} must set at least one of eps, delta, rho"
+        )
+    out: dict[str, np.ndarray] = {}
+    if eps is not None:
+        out["eps"] = validate_epsilon(eps, name="eps")
+    if delta is not None:
+        try:
+            d = np.asarray(delta, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"privacy parameter delta must be numeric, got {delta!r}"
+            ) from None
+        if d.size == 0:
+            raise ValueError("privacy parameter delta must be non-empty")
+        if not np.all(np.isfinite(d)) or np.any(d < 0) or np.any(d >= 1):
+            raise ValueError(
+                "privacy parameter delta must satisfy 0 <= delta < 1, "
+                f"got {delta!r}"
+            )
+        out["delta"] = d
+    if rho is not None:
+        out["rho"] = validate_epsilon(rho, name="rho")
+    return out
+
+
 def validate_tolerance(name: str, value: float) -> float:
     """Check a solver tolerance: a finite, non-negative float."""
     try:

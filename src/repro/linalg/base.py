@@ -9,8 +9,10 @@ needs *without* densifying:
 
 * ``matvec`` / ``rmatvec`` — products ``Ax`` and ``Aᵀy``;
 * ``gram`` — the Gram matrix ``AᵀA`` (central to strategy optimization);
-* ``sensitivity`` — the maximum absolute column sum ``‖A‖₁``, which equals
-  the L1 sensitivity of the query set (paper Definition 6);
+* ``sensitivity`` — ``sensitivity(p=1)`` is the maximum absolute column
+  sum ``‖A‖₁``, the L1 sensitivity of the query set (paper Definition 6,
+  Laplace calibration); ``sensitivity(p=2)`` is the maximum column
+  Euclidean norm, the L2 sensitivity (Gaussian calibration);
 * ``pinv`` — the Moore–Penrose pseudo-inverse, where a structured form
   exists (used by RECONSTRUCT, paper Section 7.2).
 
@@ -42,9 +44,12 @@ import numpy as np
 _MEMOIZED_OPS = (
     "gram",
     "dense",
-    "sensitivity",
+    "l1_sensitivity",
+    "l2_sensitivity",
     "column_abs_sums",
     "constant_column_abs_sum",
+    "column_norms",
+    "constant_column_norm",
     "pinv",
     "trace",
     "sum",
@@ -194,10 +199,33 @@ class Matrix:
         """The Gram matrix ``AᵀA`` as a :class:`Matrix` (n x n)."""
         return Dense(self.dense().T @ self.dense())
 
+    def sensitivity(self, p: int = 1) -> float:
+        """Lp sensitivity of the query set.
+
+        ``p=1`` is the maximum absolute column sum ``‖A‖₁`` (the Laplace
+        mechanism's calibration, paper Definition 6); ``p=2`` is the
+        maximum column Euclidean norm (the Gaussian mechanism's).  Both
+        orders are memoized per instance through ``l1_sensitivity`` /
+        ``l2_sensitivity``.
+        """
+        if p == 1:
+            return self.l1_sensitivity()
+        if p == 2:
+            return self.l2_sensitivity()
+        raise ValueError(f"sensitivity order p must be 1 or 2, got {p!r}")
+
     @_memoized
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         """L1 sensitivity ``‖A‖₁`` = maximum absolute column sum."""
         return float(np.abs(self.dense()).sum(axis=0).max())
+
+    @_memoized
+    def l2_sensitivity(self) -> float:
+        """L2 sensitivity = maximum column Euclidean norm."""
+        c = self.constant_column_norm()
+        if c is not None:
+            return float(c)
+        return float(self.column_norms().max())
 
     @_memoized
     def column_abs_sums(self) -> np.ndarray:
@@ -215,6 +243,19 @@ class Matrix:
         domains) compute sensitivity without materializing a domain-sized
         vector per product.
         """
+        return None
+
+    @_memoized
+    def column_norms(self) -> np.ndarray:
+        """Vector of column Euclidean norms (length n) — the L2 analogue
+        of ``column_abs_sums``; structured subclasses override with
+        closed forms that never densify."""
+        d = self.dense()
+        return np.sqrt((d * d).sum(axis=0))
+
+    def constant_column_norm(self) -> float | None:
+        """The shared column Euclidean norm if all columns agree, else
+        None (the L2 analogue of ``constant_column_abs_sum``)."""
         return None
 
     @_memoized
@@ -321,11 +362,14 @@ class Dense(Matrix):
     def gram(self) -> "Dense":
         return Dense(self.array.T @ self.array)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(np.abs(self.array).sum(axis=0).max())
 
     def column_abs_sums(self) -> np.ndarray:
         return np.abs(self.array).sum(axis=0)
+
+    def column_norms(self) -> np.ndarray:
+        return np.sqrt((self.array * self.array).sum(axis=0))
 
     def pinv(self) -> "Dense":
         return Dense(np.linalg.pinv(self.array))

@@ -38,13 +38,19 @@ class Identity(Matrix):
     def gram(self) -> "Identity":
         return Identity(self.n)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return 1.0
 
     def column_abs_sums(self) -> np.ndarray:
         return np.ones(self.n)
 
     def constant_column_abs_sum(self) -> float:
+        return 1.0
+
+    def column_norms(self) -> np.ndarray:
+        return np.ones(self.n)
+
+    def constant_column_norm(self) -> float:
         return 1.0
 
     def pinv(self) -> "Identity":
@@ -113,7 +119,7 @@ class Ones(Matrix):
             return Ones(n, n)
         return Weighted(Ones(n, n), float(m))  # type: ignore[return-value]
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.shape[0])
 
     def column_abs_sums(self) -> np.ndarray:
@@ -121,6 +127,12 @@ class Ones(Matrix):
 
     def constant_column_abs_sum(self) -> float:
         return float(self.shape[0])
+
+    def column_norms(self) -> np.ndarray:
+        return np.full(self.shape[1], float(np.sqrt(self.shape[0])))
+
+    def constant_column_norm(self) -> float:
+        return float(np.sqrt(self.shape[0]))
 
     def pinv(self) -> Matrix:
         m, n = self.shape
@@ -187,10 +199,13 @@ class Diagonal(Matrix):
     def gram(self) -> "Diagonal":
         return Diagonal(self.d**2)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(np.abs(self.d).max())
 
     def column_abs_sums(self) -> np.ndarray:
+        return np.abs(self.d)
+
+    def column_norms(self) -> np.ndarray:
         return np.abs(self.d)
 
     def pinv(self) -> "Diagonal":

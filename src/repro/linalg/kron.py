@@ -154,8 +154,13 @@ class Kronecker(Matrix):
     def gram(self) -> "Kronecker":
         return Kronecker([A.gram() for A in self.factors])
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return math.prod(A.sensitivity() for A in self.factors)
+
+    def l2_sensitivity(self) -> float:
+        # Column norms of a Kronecker product multiply factor-wise, so the
+        # max (all factors' norms are non-negative) is the product of maxes.
+        return math.prod(A.sensitivity(p=2) for A in self.factors)
 
     def column_abs_sums(self) -> np.ndarray:
         out = np.ones(1)
@@ -167,6 +172,21 @@ class Kronecker(Matrix):
         prod = 1.0
         for A in self.factors:
             c = A.constant_column_abs_sum()
+            if c is None:
+                return None
+            prod *= c
+        return prod
+
+    def column_norms(self) -> np.ndarray:
+        out = np.ones(1)
+        for A in self.factors:
+            out = np.kron(out, A.column_norms())
+        return out
+
+    def constant_column_norm(self) -> float | None:
+        prod = 1.0
+        for A in self.factors:
+            c = A.constant_column_norm()
             if c is None:
                 return None
             prod *= c

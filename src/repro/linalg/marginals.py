@@ -438,11 +438,22 @@ class MarginalsStrategy(Matrix):
     def gram(self) -> MarginalsGram:
         return MarginalsGram(self.sizes, self.theta**2)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.theta.sum())
+
+    def l2_sensitivity(self) -> float:
+        # Every marginal query matrix has exactly one 1 per column, so
+        # marginal a contributes θ_a² to every column's squared norm.
+        return float(np.sqrt((self.theta**2).sum()))
 
     def column_abs_sums(self) -> np.ndarray:
         return np.full(self.shape[1], float(self.theta.sum()))
+
+    def column_norms(self) -> np.ndarray:
+        return np.full(self.shape[1], self.l2_sensitivity())
+
+    def constant_column_norm(self) -> float:
+        return self.l2_sensitivity()
 
     def pinv(self) -> Matrix:
         """``(MᵀM)⁻ Mᵀ`` with the Gram inverse from the algebra.

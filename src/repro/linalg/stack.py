@@ -40,14 +40,24 @@ class Weighted(Matrix):
     def gram(self) -> Matrix:
         return Weighted(self.base.gram(), self.weight**2)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return abs(self.weight) * self.base.sensitivity()
+
+    def l2_sensitivity(self) -> float:
+        return abs(self.weight) * self.base.sensitivity(p=2)
 
     def column_abs_sums(self) -> np.ndarray:
         return abs(self.weight) * self.base.column_abs_sums()
 
     def constant_column_abs_sum(self) -> float | None:
         c = self.base.constant_column_abs_sum()
+        return None if c is None else abs(self.weight) * c
+
+    def column_norms(self) -> np.ndarray:
+        return abs(self.weight) * self.base.column_norms()
+
+    def constant_column_norm(self) -> float | None:
+        c = self.base.constant_column_norm()
         return None if c is None else abs(self.weight) * c
 
     def pinv(self) -> Matrix:
@@ -146,7 +156,7 @@ class VStack(Matrix):
     def gram(self) -> Matrix:
         return Sum([B.gram() for B in self.blocks])
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         # Blocks with constant column sums contribute a scalar; only the
         # rest need their full column-sum vector (crucial for unions of
         # marginals over huge domains).
@@ -165,6 +175,24 @@ class VStack(Matrix):
             out += B.column_abs_sums()
         return constant_part + float(out.max())
 
+    def l2_sensitivity(self) -> float:
+        # Squared column norms add across the stack; the constant/varying
+        # split mirrors l1_sensitivity in the squared domain.
+        constant_sq = 0.0
+        varying = []
+        for B in self.blocks:
+            c = B.constant_column_norm()
+            if c is None:
+                varying.append(B)
+            else:
+                constant_sq += c * c
+        if not varying:
+            return float(np.sqrt(constant_sq))
+        out = np.zeros(self.shape[1])
+        for B in varying:
+            out += B.column_norms() ** 2
+        return float(np.sqrt(constant_sq + out.max()))
+
     def column_abs_sums(self) -> np.ndarray:
         out = np.zeros(self.shape[1])
         for B in self.blocks:
@@ -179,6 +207,21 @@ class VStack(Matrix):
                 return None
             total += c
         return total
+
+    def column_norms(self) -> np.ndarray:
+        out = np.zeros(self.shape[1])
+        for B in self.blocks:
+            out += B.column_norms() ** 2
+        return np.sqrt(out)
+
+    def constant_column_norm(self) -> float | None:
+        total_sq = 0.0
+        for B in self.blocks:
+            c = B.constant_column_norm()
+            if c is None:
+                return None
+            total_sq += c * c
+        return float(np.sqrt(total_sq))
 
     def transpose(self) -> Matrix:
         from .base import _Transpose

@@ -45,11 +45,15 @@ class Prefix(Matrix):
         idx = np.arange(self.n)
         return Dense(self.n - np.maximum.outer(idx, idx).astype(np.float64))
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.n)
 
     def column_abs_sums(self) -> np.ndarray:
         return np.arange(self.n, 0, -1, dtype=np.float64)
+
+    def column_norms(self) -> np.ndarray:
+        # 0/1 entries: squared column norm = column sum.
+        return np.sqrt(self.column_abs_sums())
 
     def dense(self) -> np.ndarray:
         return np.tril(np.ones((self.n, self.n)))
@@ -135,12 +139,15 @@ class AllRange(Matrix):
         hi = self.n - np.maximum.outer(idx, idx)
         return Dense(lo * hi)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.column_abs_sums().max())
 
     def column_abs_sums(self) -> np.ndarray:
         idx = np.arange(self.n, dtype=np.float64)
         return (idx + 1.0) * (self.n - idx)
+
+    def column_norms(self) -> np.ndarray:
+        return np.sqrt(self.column_abs_sums())
 
     def dense(self) -> np.ndarray:
         rows = []
@@ -219,7 +226,7 @@ class WidthRange(Matrix):
         hi = np.minimum(np.minimum.outer(idx, idx), self.n - self.width)
         return Dense(np.maximum(hi - lo + 1.0, 0.0))
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.column_abs_sums().max())
 
     def column_abs_sums(self) -> np.ndarray:
@@ -227,6 +234,9 @@ class WidthRange(Matrix):
         lo = np.maximum(idx - self.width + 1, 0.0)
         hi = np.minimum(idx, self.n - self.width)
         return np.maximum(hi - lo + 1.0, 0.0)
+
+    def column_norms(self) -> np.ndarray:
+        return np.sqrt(self.column_abs_sums())
 
     def dense(self) -> np.ndarray:
         out = np.zeros(self.shape)
@@ -293,11 +303,20 @@ class Permuted(Matrix):
         G = self.base.gram().dense()
         return Dense(G[np.ix_(self.perm, self.perm)])
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return self.base.sensitivity()
+
+    def l2_sensitivity(self) -> float:
+        return self.base.sensitivity(p=2)
 
     def column_abs_sums(self) -> np.ndarray:
         return self.base.column_abs_sums()[self.perm]
+
+    def column_norms(self) -> np.ndarray:
+        return self.base.column_norms()[self.perm]
+
+    def constant_column_norm(self) -> float | None:
+        return self.base.constant_column_norm()
 
     def dense(self) -> np.ndarray:
         return self.base.dense()[:, self.perm]
@@ -346,11 +365,15 @@ class SparseMatrix(Matrix):
     def gram(self) -> Dense:
         return Dense((self.array.T @ self.array).toarray())
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return float(self.column_abs_sums().max())
 
     def column_abs_sums(self) -> np.ndarray:
         return np.asarray(abs(self.array).sum(axis=0)).ravel()
+
+    def column_norms(self) -> np.ndarray:
+        sq = self.array.multiply(self.array).sum(axis=0)
+        return np.sqrt(np.asarray(sq).ravel())
 
     def transpose(self) -> "SparseMatrix":
         return SparseMatrix(self.array.T)

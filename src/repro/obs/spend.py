@@ -6,10 +6,13 @@ constructing a :class:`~repro.service.accountant.PrivacyAccountant` —
 which takes the file lock and *physically truncates* a torn tail.  This
 module is the read-only view: :func:`replay` parses the committed record
 prefix without locking or mutating anything and folds it with **exactly
-the arithmetic** ``PrivacyAccountant._apply_records`` uses (same float
-additions in the same order), so the report's per-dataset totals are
-bit-equal to what :meth:`PrivacyAccountant.recover` would compute from
-the same ledger.
+the arithmetic** ``PrivacyAccountant._apply_records`` uses — both call
+:func:`repro.privacy.accounting.fold_debit`, the single shared fold — so
+the report's per-dataset totals (ε, and for mixed-mechanism ledgers δ
+and the zCDP ρ) are bit-equal to what
+:meth:`PrivacyAccountant.recover` would compute from the same ledger.
+v1 pure-ε ledgers replay unchanged; v2 Gaussian debit records
+additionally carry ``mechanism``/``delta``/``rho``.
 
 Three entry points:
 
@@ -26,6 +29,9 @@ import json
 import os
 import sys
 from dataclasses import dataclass, field
+
+from ..privacy.accounting import PrivacyCost, SpendCurve, fold_debit
+from ..privacy.policy import policy_from_dict
 
 __all__ = [
     "DatasetSpend",
@@ -47,23 +53,51 @@ class SpendEvent:
     composition: str
     stage: str
     cumulative: float  # dataset spend right after this debit
+    mechanism: str = "laplace"
+    delta: float = 0.0
+    rho: float = 0.0
 
 
 @dataclass
 class DatasetSpend:
-    """Per-dataset budget position replayed from the ledger."""
+    """Per-dataset budget position replayed from the ledger.
+
+    ``spent`` is the ε fold (unchanged from v1); ``delta`` and ``rho``
+    are the composed (ε, δ)/zCDP curve coordinates, 0 for pure-ε
+    ledgers.  ``policy`` is the serialized budget policy from a v2
+    register record (None for v1 float caps).
+    """
 
     dataset: str
     cap: float | None  # None: no register record and no default cap
     spent: float = 0.0
     debits: int = 0
     last_stage: str = ""
+    delta: float = 0.0
+    rho: float = 0.0
+    policy: dict | None = None
 
     @property
     def remaining(self) -> float:
+        """ε-denominated remaining budget, matching the accountant's
+        :meth:`~repro.service.accountant.PrivacyAccountant.remaining`."""
+        if self.policy is not None:
+            return policy_from_dict(self.policy).epsilon_remaining(
+                SpendCurve(self.spent, self.delta, self.rho)
+            )
         if self.cap is None:
             return float("inf")
         return max(0.0, self.cap - self.spent)
+
+    @property
+    def native_remaining(self) -> dict | None:
+        """Remaining budget in the policy's native unit(s); None when the
+        ledger recorded no policy (v1 float cap or no register)."""
+        if self.policy is None:
+            return None
+        return policy_from_dict(self.policy).remaining(
+            SpendCurve(self.spent, self.delta, self.rho)
+        )
 
 
 @dataclass
@@ -90,10 +124,16 @@ class SpendReport:
                     "cap": ds.cap,
                     "spent": ds.spent,
                     "remaining": (
-                        None if ds.cap is None else ds.remaining
+                        None
+                        if ds.cap is None and ds.policy is None
+                        else ds.remaining
                     ),
                     "debits": ds.debits,
                     "last_stage": ds.last_stage,
+                    "delta": ds.delta,
+                    "rho": ds.rho,
+                    "policy": ds.policy,
+                    "native_remaining": ds.native_remaining,
                 }
                 for name, ds in sorted(self.datasets.items())
             },
@@ -105,6 +145,9 @@ class SpendReport:
                     "composition": e.composition,
                     "stage": e.stage,
                     "cumulative": e.cumulative,
+                    "mechanism": e.mechanism,
+                    "delta": e.delta,
+                    "rho": e.rho,
                 }
                 for e in self.timeline
             ],
@@ -120,18 +163,25 @@ class SpendReport:
         )
         if not self.datasets:
             return head + "\n  (no datasets)"
+        # δ/ρ columns appear only when some Gaussian debit landed (its
+        # δ is always > 0), so the pure-ε table stays byte-stable for v1
+        # ledgers — whose ρ curve (ε²/2 per debit) is still tracked.
+        mixed = any(ds.delta != 0.0 for ds in self.datasets.values())
         rows = [
             (
                 name,
                 f"{ds.spent:g}",
                 "∞" if ds.cap is None else f"{ds.cap:g}",
-                "∞" if ds.cap is None else f"{ds.remaining:g}",
+                "∞" if ds.cap is None and ds.policy is None else f"{ds.remaining:g}",
                 str(ds.debits),
                 ds.last_stage or "—",
             )
+            + ((f"{ds.delta:g}", f"{ds.rho:g}") if mixed else ())
             for name, ds in sorted(self.datasets.items())
         ]
         cols = ["dataset", "spent", "cap", "remaining", "debits", "last stage"]
+        if mixed:
+            cols += ["δ", "ρ"]
         widths = [
             max(len(cols[j]), *(len(r[j]) for r in rows))
             for j in range(len(cols))
@@ -143,32 +193,42 @@ class SpendReport:
 
 
 def _fold(records, default_cap: float | None, report: SpendReport) -> None:
-    """Apply committed records in order — the same float arithmetic as
-    ``PrivacyAccountant._apply_records``, so totals are bit-equal to a
-    recovery replay of the same ledger."""
+    """Apply committed records in order — through the *same*
+    :func:`repro.privacy.accounting.fold_debit` call
+    ``PrivacyAccountant._apply_records`` uses, so the ε/δ/ρ totals are
+    bit-equal to a recovery replay of the same ledger."""
     seq = 0
     for r in records:
         kind = r.get("kind")
         if kind == "register":
             name = r["dataset"]
             ds = report.datasets.setdefault(name, DatasetSpend(name, None))
-            ds.cap = float(r["cap"])
+            if "policy" in r:  # v2 register carries a serialized policy
+                ds.policy = dict(r["policy"])
+                ds.cap = policy_from_dict(r["policy"]).epsilon_cap()
+            else:
+                ds.cap = float(r["cap"])
         elif kind == "debit":
             name = r["dataset"]
             ds = report.datasets.get(name)
             if ds is None:
                 ds = report.datasets[name] = DatasetSpend(name, default_cap)
-            ds.spent = ds.spent + float(r["epsilon"])
+            curve = SpendCurve(ds.spent, ds.delta, ds.rho)
+            cost = fold_debit(curve, r)
+            ds.spent, ds.delta, ds.rho = curve.epsilon, curve.delta, curve.rho
             ds.debits += 1
             ds.last_stage = r.get("stage", "")
             report.timeline.append(
                 SpendEvent(
                     seq=seq,
                     dataset=name,
-                    epsilon=float(r["epsilon"]),
+                    epsilon=cost.epsilon,
                     composition=r.get("composition", "sequential"),
                     stage=r.get("stage", ""),
                     cumulative=ds.spent,
+                    mechanism=cost.mechanism,
+                    delta=cost.delta,
+                    rho=cost.rho,
                 )
             )
             seq += 1
@@ -203,13 +263,20 @@ def report_from_accountant(accountant) -> SpendReport:
     accountant.sync()
     report = SpendReport(source=accountant.wal_path or "<memory>")
     for name in accountant.datasets():
-        report.datasets[name] = DatasetSpend(name, accountant.cap(name))
+        ds = report.datasets[name] = DatasetSpend(name, accountant.cap(name))
+        policy = accountant.policy(name)
+        if policy.kind != "epsilon":
+            ds.policy = policy.to_dict()
         report.records += 1  # the (implied) register record
     for seq, entry in enumerate(accountant.ledger):
         ds = report.datasets.setdefault(
             entry.dataset, DatasetSpend(entry.dataset, None)
         )
-        ds.spent = ds.spent + entry.epsilon
+        curve = SpendCurve(ds.spent, ds.delta, ds.rho)
+        curve.add(
+            PrivacyCost(entry.epsilon, entry.delta, entry.rho, entry.mechanism)
+        )
+        ds.spent, ds.delta, ds.rho = curve.epsilon, curve.delta, curve.rho
         ds.debits += 1
         ds.last_stage = entry.stage
         report.timeline.append(
@@ -220,6 +287,9 @@ def report_from_accountant(accountant) -> SpendReport:
                 composition=entry.composition,
                 stage=entry.stage,
                 cumulative=ds.spent,
+                mechanism=entry.mechanism,
+                delta=entry.delta,
+                rho=entry.rho,
             )
         )
         report.records += 1

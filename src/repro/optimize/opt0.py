@@ -92,11 +92,15 @@ class PIdentity(Matrix):
         s = self.scale
         return M * np.outer(s, s)
 
-    def sensitivity(self) -> float:
+    def l1_sensitivity(self) -> float:
         return 1.0
 
     def column_abs_sums(self) -> np.ndarray:
         return np.ones(self.n)
+
+    def column_norms(self) -> np.ndarray:
+        # Column j of [I; Θ]/s is (e_j, Θ[:, j]) / s_j.
+        return np.sqrt(1.0 + (self.theta**2).sum(axis=0)) / self.scale
 
     def pinv(self) -> Matrix:
         return Dense(self.gram_inverse()) @ self.T

@@ -1,0 +1,61 @@
+"""repro.privacy — the mechanism subsystem.
+
+First-class noise mechanisms (Laplace / Gaussian), zCDP/(ε, δ)
+composition accounting, and per-dataset budget policies.  Built on the
+calculus in :mod:`repro.core.privacy`; consumed by the service
+accountant, the planner's mechanism comparison, and the HTTP front-end.
+
+* :mod:`repro.privacy.mechanisms` — :class:`Mechanism` objects bundling
+  noise distribution, sensitivity norm, calibration, and accounting
+  cost.
+* :mod:`repro.privacy.accounting` — :class:`PrivacyCost`,
+  :class:`SpendCurve`, and the shared WAL debit fold (bit-equal between
+  the accountant's recovery and read-only replay).
+* :mod:`repro.privacy.policy` — pure-ε, (ε, δ), and ρ-zCDP budget caps.
+"""
+
+from .accounting import (
+    DEFAULT_DELTA,
+    PrivacyCost,
+    SpendCurve,
+    cost_from_record,
+    eps_to_rho,
+    fold_debit,
+    pure_eps_to_rho,
+    rho_to_eps,
+)
+from .mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    get_mechanism,
+)
+from .policy import (
+    CAP_SLACK,
+    ApproxDPPolicy,
+    BudgetPolicy,
+    PureEpsilonPolicy,
+    ZCDPPolicy,
+    policy_from_dict,
+)
+
+__all__ = [
+    "CAP_SLACK",
+    "DEFAULT_DELTA",
+    "ApproxDPPolicy",
+    "BudgetPolicy",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PrivacyCost",
+    "PureEpsilonPolicy",
+    "SpendCurve",
+    "ZCDPPolicy",
+    "cost_from_record",
+    "eps_to_rho",
+    "fold_debit",
+    "get_mechanism",
+    "policy_from_dict",
+    "pure_eps_to_rho",
+    "rho_to_eps",
+]

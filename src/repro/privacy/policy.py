@@ -1,0 +1,209 @@
+"""Per-dataset budget policies: what a privacy cap *is*.
+
+The original accountant had one notion of budget — a pure-ε cap folded
+by summation.  With mixed Laplace/Gaussian traffic there are three
+natural cap denominations, and the data owner picks one per dataset:
+
+* :class:`PureEpsilonPolicy` — a cap on the summed per-release ε
+  equivalents.  The historical behaviour, bit-compatible with every v1
+  ledger: admits iff ``Σε + ε_new ≤ cap``.
+* :class:`ApproxDPPolicy` — an (ε, δ) cap under basic composition:
+  admits iff both ``Σε + ε_new ≤ cap_ε`` and ``Σδ + δ_new ≤ cap_δ``.
+  A ``cap_δ`` of 0 forbids Gaussian measurement outright.
+* :class:`ZCDPPolicy` — a ρ cap on the zCDP curve: Gaussian releases
+  debit their native ρ, Laplace releases enter via ``ρ = ε²/2``.  The
+  tightest accounting for repeated Gaussian traffic.
+
+Policies are *pure* decision objects: they look at a dataset's composed
+:class:`~repro.privacy.accounting.SpendCurve` and a prospective
+:class:`~repro.privacy.accounting.PrivacyCost` and answer yes/no plus
+"how much remains" in their native unit.  Enforcement (raising before
+noise is drawn, WAL durability, locking) stays in
+:class:`repro.service.accountant.PrivacyAccountant`.
+
+Every policy also provides an ε-denominated *view* (``epsilon_cap`` /
+``epsilon_remaining``) so float-based callers — ``Session.remaining``,
+the server's spend precheck, the budget report table — keep working
+unchanged: for a ρ cap the view is the largest single pure-ε release
+that would still fit (``ε = sqrt(2ρ)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from .accounting import PrivacyCost, SpendCurve
+
+__all__ = [
+    "CAP_SLACK",
+    "ApproxDPPolicy",
+    "BudgetPolicy",
+    "PureEpsilonPolicy",
+    "ZCDPPolicy",
+    "policy_from_dict",
+]
+
+#: Relative slack on cap comparisons so float accumulation of a budget
+#: split into many exact shares never spuriously trips the cap (shared
+#: with the accountant's historical ``_CAP_SLACK``).
+CAP_SLACK = 1e-12
+
+
+def _fits(spent: float, requested: float, cap: float) -> bool:
+    return spent + requested <= cap * (1 + CAP_SLACK)
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Base interface; concrete policies are frozen dataclasses so the
+    accountant can compare them for WAL-dedup and serialize them into
+    register records (:meth:`to_dict` / :func:`policy_from_dict`)."""
+
+    kind: ClassVar[str] = ""
+
+    def admits(self, curve: SpendCurve, cost: PrivacyCost) -> bool:
+        """Would charging ``cost`` on top of ``curve`` stay within cap?"""
+        raise NotImplementedError
+
+    def covers(self, curve: SpendCurve) -> bool:
+        """Is an already-composed position within this cap?  (Used when
+        re-registering: a policy below the spent budget is rejected.)"""
+        raise NotImplementedError
+
+    def remaining(self, curve: SpendCurve) -> dict[str, float]:
+        """Unspent budget in the policy's native unit(s)."""
+        raise NotImplementedError
+
+    def epsilon_cap(self) -> float:
+        """ε-denominated view of the cap, for float-based callers."""
+        raise NotImplementedError
+
+    def epsilon_remaining(self, curve: SpendCurve) -> float:
+        """ε-denominated view of the unspent budget: the largest single
+        pure-ε release that would still be admitted."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+
+@dataclass(frozen=True)
+class PureEpsilonPolicy(BudgetPolicy):
+    """Cap on summed ε equivalents — the historical (v1) budget."""
+
+    epsilon: float
+    kind: ClassVar[str] = "epsilon"
+
+    def __post_init__(self):
+        if not self.epsilon > 0:
+            raise ValueError(f"epsilon cap must be positive, got {self.epsilon!r}")
+
+    def admits(self, curve, cost):
+        return _fits(curve.epsilon, cost.epsilon, self.epsilon)
+
+    def covers(self, curve):
+        return self.epsilon >= curve.epsilon
+
+    def remaining(self, curve):
+        return {"epsilon": max(0.0, self.epsilon - curve.epsilon)}
+
+    def epsilon_cap(self):
+        return self.epsilon
+
+    def epsilon_remaining(self, curve):
+        return max(0.0, self.epsilon - curve.epsilon)
+
+    def describe(self):
+        return f"ε ≤ {self.epsilon:g}"
+
+
+@dataclass(frozen=True)
+class ApproxDPPolicy(BudgetPolicy):
+    """(ε, δ) cap under basic composition: both coordinates must fit."""
+
+    epsilon: float
+    delta: float
+    kind: ClassVar[str] = "approx_dp"
+
+    def __post_init__(self):
+        if not self.epsilon > 0:
+            raise ValueError(f"epsilon cap must be positive, got {self.epsilon!r}")
+        if not 0 <= self.delta < 1:
+            raise ValueError(f"delta cap must be in [0, 1), got {self.delta!r}")
+
+    def admits(self, curve, cost):
+        return _fits(curve.epsilon, cost.epsilon, self.epsilon) and _fits(
+            curve.delta, cost.delta, self.delta
+        )
+
+    def covers(self, curve):
+        return self.epsilon >= curve.epsilon and self.delta >= curve.delta
+
+    def remaining(self, curve):
+        return {
+            "epsilon": max(0.0, self.epsilon - curve.epsilon),
+            "delta": max(0.0, self.delta - curve.delta),
+        }
+
+    def epsilon_cap(self):
+        return self.epsilon
+
+    def epsilon_remaining(self, curve):
+        return max(0.0, self.epsilon - curve.epsilon)
+
+    def describe(self):
+        return f"(ε ≤ {self.epsilon:g}, δ ≤ {self.delta:g})"
+
+
+@dataclass(frozen=True)
+class ZCDPPolicy(BudgetPolicy):
+    """ρ cap on the zCDP curve — Laplace debits enter via ``ε²/2``."""
+
+    rho: float
+    kind: ClassVar[str] = "zcdp"
+
+    def __post_init__(self):
+        if not self.rho > 0:
+            raise ValueError(f"rho cap must be positive, got {self.rho!r}")
+
+    def admits(self, curve, cost):
+        return _fits(curve.rho, cost.rho, self.rho)
+
+    def covers(self, curve):
+        return self.rho >= curve.rho
+
+    def remaining(self, curve):
+        return {"rho": max(0.0, self.rho - curve.rho)}
+
+    def epsilon_cap(self):
+        # the largest single pure-ε release an empty budget admits
+        return float(np.sqrt(2.0 * self.rho))
+
+    def epsilon_remaining(self, curve):
+        return float(np.sqrt(2.0 * max(0.0, self.rho - curve.rho)))
+
+    def describe(self):
+        return f"ρ ≤ {self.rho:g} (zCDP)"
+
+
+_POLICY_KINDS = {
+    cls.kind: cls for cls in (PureEpsilonPolicy, ApproxDPPolicy, ZCDPPolicy)
+}
+
+
+def policy_from_dict(d: Mapping) -> BudgetPolicy:
+    """Inverse of :meth:`BudgetPolicy.to_dict` (WAL register records)."""
+    d = dict(d)
+    kind = d.pop("kind", "epsilon")
+    cls = _POLICY_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown budget policy kind {kind!r}")
+    return cls(**d)

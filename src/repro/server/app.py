@@ -51,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from ..api.expr import A, QueryExpr, count, marginal, prefix, ranges, total
 from ..api.session import Session
+from ..core.solvers import validate_budget
 from ..obs.metrics import REGISTRY as _METRICS
 from ..obs.trace import TRACER as _TRACER
 from ..service.engine import QueryMiss
@@ -170,10 +171,11 @@ class ServerApp:
         self._exprs: dict[tuple[str, str], list[QueryExpr]] = {}
 
     # -- dataset management --------------------------------------------------
-    def register(self, name, schema, data, epsilon_cap=None):
+    def register(self, name, schema, data, epsilon_cap=None, policy=None):
         """Register a dataset on the underlying session."""
         return self.session.dataset(
-            name, schema=schema, data=data, epsilon_cap=epsilon_cap
+            name, schema=schema, data=data, epsilon_cap=epsilon_cap,
+            policy=policy,
         )
 
     def datasets(self) -> list[str]:
@@ -283,6 +285,23 @@ class ServerApp:
             eps = float(eps)
             if not eps > 0:
                 raise ValueError(f"eps must be positive, got {eps}")
+        mechanism = payload.get("mechanism", "laplace")
+        if mechanism not in ("laplace", "gaussian"):
+            raise ValueError(
+                f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}"
+            )
+        delta = payload.get("delta")
+        if delta is not None:
+            if mechanism != "gaussian":
+                raise ValueError(
+                    "delta only applies to the gaussian mechanism"
+                )
+            delta = float(validate_budget(delta=delta)["delta"])
+            if delta == 0.0:
+                raise ValueError(
+                    "the gaussian mechanism needs delta > 0 (delta=0 is "
+                    "pure ε-DP: use the laplace mechanism)"
+                )
         seed = payload.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ValueError(f"seed must be an integer, got {seed!r}")
@@ -290,12 +309,14 @@ class ServerApp:
         timeout = min(float(timeout), self.max_timeout)
         if not timeout > 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
-        return name, ds, exprs, eps, seed, timeout
+        return name, ds, exprs, eps, mechanism, delta, seed, timeout
 
     async def _handle_query(self, payload) -> tuple[int, dict, dict]:
         if self.draining:
             raise ShedError("draining", 503, 1.0)
-        name, ds, exprs, eps, seed, timeout = self._parse_request(payload)
+        name, ds, exprs, eps, mechanism, delta, seed, timeout = (
+            self._parse_request(payload)
+        )
         deadline = Deadline(timeout)
 
         # Free path: always admitted, served inline on the event loop.
@@ -315,21 +336,19 @@ class ServerApp:
             )
 
         # Budget-exhausted degradation: refuse the measured path up front
-        # (the body carries remaining ε) instead of burning an executor
-        # slot on a charge the accountant would refuse anyway.  The
-        # accountant still enforces the cap — this is an optimization,
-        # not the enforcement point.
+        # (the body carries the policy's remaining budget in its native
+        # unit) instead of burning an executor slot on a charge the
+        # accountant would refuse anyway.  The policy-aware check raises
+        # the same BudgetExceededError the debit would; the accountant
+        # still enforces the cap — this is an optimization, not the
+        # enforcement point.
         acct = self.session.service.accountant
-        if acct is not None and eps > acct.remaining(name) * (1 + 1e-9):
-            from ..service.accountant import BudgetExceededError
-
-            raise BudgetExceededError(
-                name, acct.cap(name), acct.spent(name), eps, "sequential"
-            )
+        if acct is not None:
+            acct.check(name, eps, mechanism=mechanism, delta=delta)
 
         # Routing decision for the breaker: only genuinely cold requests
         # pass through it; warm/direct misses keep serving while open.
-        plan = ds.plan(exprs, eps)
+        plan = ds.plan(exprs, eps, mechanism=mechanism, delta=delta)
         cold = any(e.route == "cold" for e in plan.entries)
         if cold:
             self.breaker.allow()
@@ -337,8 +356,8 @@ class ServerApp:
         await self.admission.acquire_measure(name, timeout=deadline.remaining())
         loop = asyncio.get_running_loop()
         fut = loop.run_in_executor(
-            self._executor, self._measured, name, ds, exprs, eps, seed,
-            deadline, cold,
+            self._executor, self._measured, name, ds, exprs, eps,
+            mechanism, delta, seed, deadline, cold,
         )
         # The slot is released when the *worker* finishes — not when the
         # waiter gives up — so the executor can never oversubscribe; the
@@ -387,13 +406,18 @@ class ServerApp:
         body["late"] = True
         return 200, {}, body
 
-    def _measured(self, name, ds, exprs, eps, seed, deadline, cold):
+    def _measured(self, name, ds, exprs, eps, mechanism, delta, seed, deadline, cold):
         """Executor-side measured request (worker thread): the root span
         opens here so it parents ``session.ask`` in the thread-local
         tracer, and breaker accounting sees the true fit outcome."""
+        kwargs = {} if mechanism == "laplace" else {
+            "mechanism": mechanism, **({} if delta is None else {"delta": delta})
+        }
         try:
             with _TRACER.span("server.request", dataset=name, route="measured"):
-                answers = ds.ask_many(exprs, eps=eps, rng=seed, deadline=deadline)
+                answers = ds.ask_many(
+                    exprs, eps=eps, rng=seed, deadline=deadline, **kwargs
+                )
         except DeadlineExceededError as e:
             if cold and e.stage == "fit":
                 self.breaker.record_failure()
@@ -419,6 +443,7 @@ class ServerApp:
                     "epsilon": a.epsilon,
                     "key": a.key,
                     "span_projected": a.span_projected,
+                    "mechanism": a.mechanism,
                 }
             )
         charged = max((a.epsilon for a in answers), default=0.0)

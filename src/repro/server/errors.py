@@ -60,6 +60,12 @@ def _budget(e: BudgetExceededError):
         "spent_epsilon": e.spent,
         "requested_epsilon": e.requested,
         "composition": e.composition,
+        # The active budget policy and the exact unspent budget in its
+        # native unit: {"epsilon": …} for a pure-ε cap,
+        # {"epsilon": …, "delta": …} for an (ε, δ) cap, {"rho": …} for a
+        # ρ-zCDP cap.
+        "policy": e.policy_kind,
+        "remaining": e.native_remaining,
     }
 
 

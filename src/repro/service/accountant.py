@@ -52,25 +52,32 @@ import numpy as np
 
 from ..core.solvers import validate_epsilon
 from ..obs.metrics import REGISTRY as _METRICS
+from ..privacy.accounting import SpendCurve, fold_debit
+from ..privacy.mechanisms import get_mechanism
+from ..privacy.policy import (
+    CAP_SLACK as _CAP_SLACK,
+    BudgetPolicy,
+    PureEpsilonPolicy,
+    policy_from_dict,
+)
 from .ledger import WriteAheadLedger
 
 __all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyAccountant"]
 
 logger = logging.getLogger(__name__)
 
-#: Relative slack on cap comparisons so float accumulation of a budget
-#: split into many exact shares never spuriously trips the cap.
-_CAP_SLACK = 1e-12
-
 
 class BudgetExceededError(RuntimeError):
-    """A debit would push a dataset past its epsilon cap.
+    """A debit would push a dataset past its budget policy's cap.
 
     Raised *before* any measurement noise is drawn — the mechanism that
     attempted the spend never touched the data.  Carries the full budget
     picture as attributes (``dataset``, ``cap``, ``spent``, ``requested``,
-    ``remaining``, ``composition``) so callers can act on the remaining
-    budget instead of parsing the message.
+    ``remaining``, ``composition`` — all ε-denominated for backward
+    compatibility, plus ``policy_kind`` and ``native_remaining``, the
+    unspent budget in the policy's own unit: ``{"epsilon": …}``,
+    ``{"epsilon": …, "delta": …}``, or ``{"rho": …}``) so callers can act
+    on the remaining budget instead of parsing the message.
     """
 
     def __init__(
@@ -80,6 +87,9 @@ class BudgetExceededError(RuntimeError):
         spent: float,
         requested: float,
         composition: str = "sequential",
+        *,
+        policy_kind: str = "epsilon",
+        native_remaining: dict | None = None,
     ):
         self.dataset = dataset
         self.cap = float(cap)
@@ -87,11 +97,23 @@ class BudgetExceededError(RuntimeError):
         self.requested = float(requested)
         self.remaining = max(0.0, self.cap - self.spent)
         self.composition = composition
+        self.policy_kind = policy_kind
+        self.native_remaining = (
+            {"epsilon": self.remaining}
+            if native_remaining is None
+            else dict(native_remaining)
+        )
+        native = ""
+        if policy_kind != "epsilon":
+            parts = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(self.native_remaining.items())
+            )
+            native = f" [{policy_kind} policy; native remaining: {parts}]"
         super().__init__(
             f"privacy budget exceeded for dataset {dataset!r}: requested "
             f"debit {self.requested:g} ({composition}) but only "
             f"{self.remaining:g} of cap {self.cap:g} remains "
-            f"(spent {self.spent:g})"
+            f"(spent {self.spent:g})" + native
         )
 
 
@@ -103,6 +125,9 @@ class LedgerEntry:
     epsilon: float
     composition: str  # "sequential" | "parallel"
     stage: str = ""
+    mechanism: str = "laplace"
+    delta: float = 0.0
+    rho: float = 0.0
 
 
 class PrivacyAccountant:
@@ -140,6 +165,8 @@ class PrivacyAccountant:
         self.default_cap = default_cap
         self._caps: dict[str, float] = {}
         self._spent: dict[str, float] = {}
+        self._policies: dict[str, BudgetPolicy] = {}
+        self._curves: dict[str, SpendCurve] = {}
         self.ledger: list[LedgerEntry] = []
         self._lock = threading.RLock()
         self._wal = (
@@ -191,19 +218,31 @@ class PrivacyAccountant:
         for r in records:
             kind = r.get("kind")
             if kind == "register":
-                self._caps[r["dataset"]] = float(r["cap"])
-                self._spent.setdefault(r["dataset"], 0.0)
+                ds = r["dataset"]
+                if "policy" in r:  # v2 register carries a serialized policy
+                    policy = policy_from_dict(r["policy"])
+                else:  # v1 register: a pure-ε cap
+                    policy = PureEpsilonPolicy(float(r["cap"]))
+                self._policies[ds] = policy
+                self._caps[ds] = policy.epsilon_cap()
+                self._spent.setdefault(ds, 0.0)
+                self._curves.setdefault(ds, SpendCurve())
             elif kind == "debit":
                 ds = r["dataset"]
                 if ds not in self._caps and self.default_cap is not None:
                     self._caps[ds] = self.default_cap
+                    self._policies[ds] = PureEpsilonPolicy(self.default_cap)
                 self._spent[ds] = self._spent.get(ds, 0.0) + float(r["epsilon"])
+                cost = fold_debit(self._curves.setdefault(ds, SpendCurve()), r)
                 self.ledger.append(
                     LedgerEntry(
                         ds,
                         float(r["epsilon"]),
                         r.get("composition", "sequential"),
                         r.get("stage", ""),
+                        cost.mechanism,
+                        cost.delta,
+                        cost.rho,
                     )
                 )
 
@@ -230,32 +269,61 @@ class PrivacyAccountant:
                 self._apply_records(self._wal.read_new())
 
     # -- registration ------------------------------------------------------
-    def _register_locked(self, dataset: str, cap: float, wal: bool) -> None:
+    def _register_locked(
+        self, dataset: str, policy: BudgetPolicy, wal: bool
+    ) -> None:
         """Registration core; caller holds whatever locks apply."""
-        spent = self._spent.get(dataset, 0.0)
-        if cap < spent:
+        curve = self._curves.get(dataset, SpendCurve())
+        if not policy.covers(curve):
             raise ValueError(
-                f"cap {cap} for dataset {dataset!r} is below the "
-                f"already-spent budget {spent}"
+                f"cap {policy.describe()} for dataset {dataset!r} is below "
+                f"the already-spent budget {curve.as_dict()}"
             )
-        if wal and self._wal is not None and self._caps.get(dataset) != cap:
-            self._wal.append(
-                {"v": 1, "kind": "register", "dataset": dataset, "cap": cap}
-            )
-        self._caps[dataset] = cap
+        if wal and self._wal is not None and self._policies.get(dataset) != policy:
+            if type(policy) is PureEpsilonPolicy:
+                # byte-identical to the historical v1 register record
+                record = {
+                    "v": 1,
+                    "kind": "register",
+                    "dataset": dataset,
+                    "cap": policy.epsilon,
+                }
+            else:
+                record = {
+                    "v": 2,
+                    "kind": "register",
+                    "dataset": dataset,
+                    "policy": policy.to_dict(),
+                }
+            self._wal.append(record)
+        self._policies[dataset] = policy
+        self._caps[dataset] = policy.epsilon_cap()
         self._spent.setdefault(dataset, 0.0)
+        self._curves.setdefault(dataset, SpendCurve())
 
-    def register(self, dataset: str, cap: float) -> None:
-        """Set (or raise) the epsilon cap of a dataset.
+    def register(
+        self,
+        dataset: str,
+        cap: float | None = None,
+        policy: BudgetPolicy | None = None,
+    ) -> None:
+        """Set (or raise) the budget policy of a dataset.
 
-        A cap below what is already spent is rejected — budgets may be
-        extended by the data owner but never retroactively shrunk under
-        the amount consumed.  With a WAL attached, the cap is durably
-        recorded before it takes effect.
+        ``cap`` (a float) is the historical pure-ε form, equivalent to
+        ``policy=PureEpsilonPolicy(cap)``; ``policy`` registers any
+        :class:`~repro.privacy.policy.BudgetPolicy` — an (ε, δ) cap or a
+        ρ-zCDP cap.  A policy below what is already spent is rejected —
+        budgets may be extended by the data owner but never retroactively
+        shrunk under the amount consumed.  With a WAL attached, the
+        policy is durably recorded before it takes effect (pure-ε caps as
+        byte-identical v1 records, other policies as v2 records).
         """
-        cap = float(validate_epsilon(cap, "cap"))
+        if (cap is None) == (policy is None):
+            raise ValueError("pass exactly one of cap= or policy=")
+        if policy is None:
+            policy = PureEpsilonPolicy(float(validate_epsilon(cap, "cap")))
         with self._transact():
-            self._register_locked(dataset, cap, wal=True)
+            self._register_locked(dataset, policy, wal=True)
 
     def datasets(self) -> list[str]:
         with self._lock:
@@ -271,8 +339,14 @@ class PrivacyAccountant:
             # default_cap auto-registration is not WAL'd: replaying the
             # ledger under the same default_cap reproduces it, and never
             # writing here keeps WAL appends under the debit lock only.
-            self._register_locked(dataset, self.default_cap, wal=False)
+            self._register_locked(
+                dataset, PureEpsilonPolicy(self.default_cap), wal=False
+            )
         return self._caps[dataset]
+
+    def _require_policy(self, dataset: str) -> BudgetPolicy:
+        self._require(dataset)
+        return self._policies[dataset]
 
     # -- inspection --------------------------------------------------------
     def cap(self, dataset: str) -> float:
@@ -286,95 +360,183 @@ class PrivacyAccountant:
             return self._spent.get(dataset, 0.0)
 
     def remaining(self, dataset: str) -> float:
-        with self._lock:
-            return max(0.0, self.cap(dataset) - self.spent(dataset))
-
-    # -- debits ------------------------------------------------------------
-    def check(self, dataset: str, eps) -> float:
-        """Validate a prospective sequential debit without recording it.
-
-        Returns the total that :meth:`charge` would debit; raises
-        :class:`BudgetExceededError` if it does not fit.  Advisory under
-        concurrency: only :meth:`charge` holds the check and the debit
-        under one lock.
-        """
-        total = float(np.sum(validate_epsilon(eps)))
+        """ε-denominated unspent budget: the largest single pure-ε debit
+        the dataset's policy would still admit (for a pure-ε cap this is
+        exactly ``cap - spent``, as before)."""
         self.sync()
         with self._lock:
-            self._check(dataset, total, "sequential")
-        return total
+            policy = self._require_policy(dataset)
+            return policy.epsilon_remaining(
+                self._curves.get(dataset, SpendCurve())
+            )
 
-    def _check(self, dataset: str, amount: float, composition: str) -> None:
-        cap = self._require(dataset)
-        spent = self._spent[dataset]
-        if spent + amount > cap * (1 + _CAP_SLACK):
-            raise BudgetExceededError(dataset, cap, spent, amount, composition)
+    def policy(self, dataset: str) -> BudgetPolicy:
+        """The dataset's registered budget policy."""
+        with self._lock:
+            return self._require_policy(dataset)
 
-    def _debit(
-        self, dataset: str, amount: float, composition: str, stage: str
+    def curve(self, dataset: str) -> SpendCurve:
+        """A copy of the dataset's composed spend curve (ε, δ, ρ)."""
+        self.sync()
+        with self._lock:
+            self._require(dataset)
+            return self._curves.get(dataset, SpendCurve()).copy()
+
+    def native_remaining(self, dataset: str) -> dict:
+        """Unspent budget in the policy's native unit(s)."""
+        self.sync()
+        with self._lock:
+            policy = self._require_policy(dataset)
+            return policy.remaining(self._curves.get(dataset, SpendCurve()))
+
+    # -- debits ------------------------------------------------------------
+    def check(
+        self,
+        dataset: str,
+        eps,
+        stage: str = "",
+        mechanism: str = "laplace",
+        delta: float | None = None,
     ) -> float:
+        """Validate a prospective sequential debit without recording it.
+
+        Returns the ε total that :meth:`charge` would debit; raises
+        :class:`BudgetExceededError` if it does not fit the dataset's
+        policy.  Advisory under concurrency: only :meth:`charge` holds
+        the check and the debit under one lock.
+        """
+        cost = get_mechanism(mechanism, delta).cost(eps)
+        self.sync()
+        with self._lock:
+            self._check(dataset, cost, "sequential")
+        return cost.epsilon
+
+    def _check(self, dataset: str, cost, composition: str) -> None:
+        cap = self._require(dataset)
+        policy = self._policies[dataset]
+        curve = self._curves.setdefault(dataset, SpendCurve())
+        if not policy.admits(curve, cost):
+            raise BudgetExceededError(
+                dataset,
+                cap,
+                self._spent.get(dataset, 0.0),
+                cost.epsilon,
+                composition,
+                policy_kind=policy.kind,
+                native_remaining=policy.remaining(curve),
+            )
+
+    def _debit(self, dataset: str, cost, composition: str, stage: str) -> float:
         """The compare-and-debit core: check + WAL append + apply, atomic
         across threads and (with a WAL) across processes.  The WAL record
         is fsync'd before the in-memory state moves, so the method returns
         only once the debit is durable — the caller draws noise after."""
         with self._transact():
             try:
-                self._check(dataset, amount, composition)
+                self._check(dataset, cost, composition)
             except BudgetExceededError as e:
                 logger.warning(
                     "refused %s debit of %g on dataset %r: %g spent of "
                     "cap %g (stage %r)",
-                    composition, amount, dataset, e.spent, e.cap, stage,
+                    composition, cost.epsilon, dataset, e.spent, e.cap, stage,
                 )
                 if _METRICS.enabled:
                     _METRICS.counter(
                         "accountant.refusals_total", dataset=dataset
                     ).inc()
                 raise
+            # Pure-ε Laplace debits stay byte-identical v1 records; only
+            # Gaussian debits need the v2 fields (δ, native ρ) — a v1
+            # record's ρ is derivable (ε²/2) so it is never stored.
+            if cost.mechanism == "laplace":
+                record = {
+                    "v": 1,
+                    "kind": "debit",
+                    "dataset": dataset,
+                    "epsilon": cost.epsilon,
+                    "composition": composition,
+                    "stage": stage,
+                }
+            else:
+                record = {
+                    "v": 2,
+                    "kind": "debit",
+                    "dataset": dataset,
+                    "epsilon": cost.epsilon,
+                    "delta": cost.delta,
+                    "rho": cost.rho,
+                    "mechanism": cost.mechanism,
+                    "composition": composition,
+                    "stage": stage,
+                }
             if self._wal is not None:
-                self._wal.append(
-                    {
-                        "v": 1,
-                        "kind": "debit",
-                        "dataset": dataset,
-                        "epsilon": amount,
-                        "composition": composition,
-                        "stage": stage,
-                    }
+                self._wal.append(record)
+            self._spent[dataset] += cost.epsilon
+            # fold the record (not the cost) so live state and a later
+            # replay of the same ledger are bit-equal by construction
+            folded = fold_debit(
+                self._curves.setdefault(dataset, SpendCurve()), record
+            )
+            self.ledger.append(
+                LedgerEntry(
+                    dataset,
+                    cost.epsilon,
+                    composition,
+                    stage,
+                    folded.mechanism,
+                    folded.delta,
+                    folded.rho,
                 )
-            self._spent[dataset] += amount
-            self.ledger.append(LedgerEntry(dataset, amount, composition, stage))
+            )
             if _METRICS.enabled:
                 _METRICS.counter(
                     "accountant.epsilon_spent", dataset=dataset
-                ).inc(amount)
+                ).inc(cost.epsilon)
                 _METRICS.counter(
                     "accountant.debits_total",
                     dataset=dataset,
                     composition=composition,
                 ).inc()
-        return amount
+        return cost.epsilon
 
-    def charge(self, dataset: str, eps, stage: str = "") -> float:
+    def charge(
+        self,
+        dataset: str,
+        eps,
+        stage: str = "",
+        mechanism: str = "laplace",
+        delta: float | None = None,
+    ) -> float:
         """Debit under sequential composition: the *sum* of the budgets.
 
         ``eps`` may be a scalar or an array of per-mechanism budgets run
-        on the same data (an ε-sweep debits its grid total).  Returns the
-        amount debited, which is durably committed (WAL accountants)
-        before this method returns.
+        on the same data (an ε-sweep debits its grid total).  For
+        ``mechanism="gaussian"`` the debit additionally carries the
+        summed δ and the summed per-trial zCDP cost ρ, recorded as a v2
+        WAL record.  Returns the ε amount debited, which is durably
+        committed (WAL accountants) before this method returns.
         """
-        total = float(np.sum(validate_epsilon(eps)))
-        return self._debit(dataset, total, "sequential", stage)
+        cost = get_mechanism(mechanism, delta).cost(eps)
+        return self._debit(dataset, cost, "sequential", stage)
 
-    def charge_parallel(self, dataset: str, eps, stage: str = "") -> float:
+    def charge_parallel(
+        self,
+        dataset: str,
+        eps,
+        stage: str = "",
+        mechanism: str = "laplace",
+        delta: float | None = None,
+    ) -> float:
         """Debit under parallel composition: the *maximum* branch budget.
 
         For mechanisms applied to disjoint partitions of the dataset —
         each record is touched by exactly one branch, so the collective
-        release is max(ε)-DP.  Returns the amount debited.
+        release is max(ε)-DP (and max-ρ zCDP).  Returns the ε amount
+        debited.
         """
         branch_max = float(np.max(validate_epsilon(eps)))
-        return self._debit(dataset, branch_max, "parallel", stage)
+        cost = get_mechanism(mechanism, delta).cost(branch_max)
+        return self._debit(dataset, cost, "parallel", stage)
 
     def __repr__(self) -> str:
         with self._lock:

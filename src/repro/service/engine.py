@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.hdmm import HDMM
+from ..core.privacy import DEFAULT_DELTA
 from ..core.reconstruct import resolves_to_pinv
 from ..core.solvers import (
     cg_gram_solve,
@@ -124,6 +125,8 @@ ANSWER_MEASURE_OPTIONS = frozenset(
         "maxiter",
         "rtol",
         "dense_pinv_limit",
+        "mechanism",
+        "delta",
     }
 )
 
@@ -246,6 +249,8 @@ class ServeResult:
     from_registry: bool
     #: Trace this measurement was recorded under (None when tracing off).
     trace_id: str | None = None
+    #: Noise mechanism that produced the measurements.
+    mechanism: str = "laplace"
 
 
 @dataclass
@@ -268,6 +273,9 @@ class QueryAnswer:
     route: str | None = None
     #: Trace this answer was served under (None when tracing off).
     trace_id: str | None = None
+    #: Mechanism whose noise is in the answer ("laplace"/"gaussian" for
+    #: fresh measurements; hits inherit the cached measurement's).
+    mechanism: str = "laplace"
 
 
 @dataclass
@@ -314,6 +322,9 @@ class Reconstruction:
     strategy: Matrix
     x_hat: np.ndarray
     eps: float
+    #: Mechanism of the measurement that produced x̂ (provenance only —
+    #: serving from x̂ is post-processing either way).
+    mechanism: str = "laplace"
 
 
 @dataclass
@@ -410,19 +421,25 @@ class QueryService:
 
     # -- datasets ----------------------------------------------------------
     def add_dataset(
-        self, name: str, x: np.ndarray, epsilon_cap: float | None = None
+        self,
+        name: str,
+        x: np.ndarray,
+        epsilon_cap: float | None = None,
+        policy=None,
     ) -> None:
-        """Register a data vector; ``epsilon_cap`` also registers its budget."""
+        """Register a data vector; ``epsilon_cap`` (a pure-ε cap) or
+        ``policy`` (any :class:`~repro.privacy.policy.BudgetPolicy`, e.g.
+        an (ε, δ) or ρ-zCDP cap) also registers its budget."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 1:
             raise ValueError(f"data vector must be 1-D, got shape {x.shape}")
         self._datasets[name] = _DatasetState(x=x)
-        if epsilon_cap is not None:
+        if epsilon_cap is not None or policy is not None:
             if self.accountant is None:
                 raise ValueError(
-                    "epsilon_cap given but the service has no accountant"
+                    "a budget cap was given but the service has no accountant"
                 )
-            self.accountant.register(name, epsilon_cap)
+            self.accountant.register(name, epsilon_cap, policy=policy)
 
     def _dataset(self, name: str) -> _DatasetState:
         if name not in self._datasets:
@@ -536,6 +553,8 @@ class QueryService:
         stage: str = "",
         cache: bool = True,
         deadline=None,
+        mechanism: str = "laplace",
+        delta: float | None = None,
         **run_kwargs,
     ) -> ServeResult:
         """Run an accounted (ε-grid x trials) measurement sweep.
@@ -543,7 +562,11 @@ class QueryService:
         The accountant is debited ``trials * Σ eps`` (sequential
         composition) *before* any noise is drawn; on
         :class:`~repro.service.accountant.BudgetExceededError` the data
-        is untouched.  Extra keyword arguments (``exact``,
+        is untouched.  ``mechanism="gaussian"`` draws Gaussian noise
+        calibrated through zCDP at ``delta`` (default
+        :data:`~repro.core.privacy.DEFAULT_DELTA`) and debits a v2
+        record carrying the per-trial δ and ρ totals alongside the same
+        ε.  Extra keyword arguments (``exact``,
         ``warm_start``, ``method``, solver tolerances) forward to
         :meth:`~repro.core.hdmm.HDMM.run_batch`, so
         ``exact=True, warm_start=False`` serves answers bit-identical to
@@ -565,6 +588,8 @@ class QueryService:
                 stage=stage,
                 cache=cache,
                 deadline=deadline,
+                mechanism=mechanism,
+                delta=delta,
                 **run_kwargs,
             )
             result.trace_id = _TRACER.current_trace_id()
@@ -583,9 +608,14 @@ class QueryService:
         stage: str = "",
         cache: bool = True,
         deadline=None,
+        mechanism: str = "laplace",
+        delta: float | None = None,
         **run_kwargs,
     ) -> ServeResult:
+        from ..privacy.mechanisms import get_mechanism
+
         ds = self._dataset(dataset)
+        mech_obj = get_mechanism(mechanism, delta)
         workload, domain = as_workload_matrix(workload, domain)
         eps_arr = np.atleast_1d(validate_epsilon(eps))
         if eps_arr.ndim != 1:
@@ -593,7 +623,15 @@ class QueryService:
                 f"eps must be a scalar or 1-D grid, got shape {eps_arr.shape}"
             )
         trials = validate_positive_int("trials", trials)
-        total = float(eps_arr.sum()) * trials
+        if mech_obj.name == "laplace":
+            # the historical scalar debit — v1 records stay byte-identical
+            charge_eps: float | np.ndarray = float(eps_arr.sum()) * trials
+            total = charge_eps
+        else:
+            # per-trial grid: the Gaussian debit's δ and ρ compose per
+            # release (Σρ_j is tighter than converting the summed ε)
+            charge_eps = np.ascontiguousarray(np.repeat(eps_arr, trials))
+            total = float(np.sum(charge_eps))
         # Every cheap precondition runs before the debit: a programming
         # error (wrong dataset/workload pairing) must not burn budget.
         if workload.shape[1] != ds.x.shape[0]:
@@ -628,7 +666,11 @@ class QueryService:
                 deadline.begin_commit()
             with _TRACER.span("accountant.charge", epsilon=total):
                 self.accountant.charge(
-                    dataset, total, stage=stage or f"measure:{key[:8]}"
+                    dataset,
+                    charge_eps,
+                    stage=stage or f"measure:{key[:8]}",
+                    mechanism=mech_obj.name,
+                    delta=getattr(mech_obj, "delta", None),
                 )
             if deadline is not None:
                 deadline.mark_committed(total)
@@ -648,6 +690,8 @@ class QueryService:
                 trials=trials,
                 rng=rng,
                 return_data_vector=True,
+                mechanism=mech_obj.name,
+                delta=getattr(mech_obj, "delta", DEFAULT_DELTA),
                 **run_kwargs,
             )
         if cache:
@@ -659,6 +703,7 @@ class QueryService:
                     strategy=strategy,
                     x_hat=np.ascontiguousarray(x_hat[best, 0]),
                     eps=float(eps_arr[best]),
+                    mechanism=mech_obj.name,
                 )
                 self._invalidate_tables(ds, key)
         self._refresh_persisted_solver_state(key, strategy)
@@ -671,6 +716,7 @@ class QueryService:
             charged=total,
             loss=loss,
             from_registry=from_registry,
+            mechanism=mech_obj.name,
         )
 
     def _refresh_persisted_solver_state(self, key: str, strategy: Matrix) -> None:
@@ -750,10 +796,12 @@ class QueryService:
                 hit=True,
                 key=recon.key,
                 route="accelerator",
+                mechanism=recon.mechanism,
             )
         values = np.asarray(Q.matvec(recon.x_hat)).reshape(-1)
         return QueryAnswer(
-            values=values, hit=True, key=recon.key, route="cache"
+            values=values, hit=True, key=recon.key, route="cache",
+            mechanism=recon.mechanism,
         )
 
     def _accel_table(
@@ -913,6 +961,8 @@ class QueryService:
         cache: bool = True,
         cols: np.ndarray | None = None,
         deadline=None,
+        mechanism: str = "laplace",
+        delta: float | None = None,
     ) -> tuple[str, np.ndarray, float] | None:
         """Cold-miss fast path: direct measurement of the queries' support.
 
@@ -935,9 +985,10 @@ class QueryService:
 
         import scipy.sparse as sp
 
-        from ..core.measure import laplace_measure
         from ..linalg.structured import SparseMatrix
+        from ..privacy.mechanisms import get_mechanism
 
+        mech_obj = get_mechanism(mechanism, delta)
         charged = float(validate_epsilon(eps, "eps"))
         ds = self._dataset(dataset)
         n = ds.x.shape[0]
@@ -967,20 +1018,25 @@ class QueryService:
                 deadline.check("charge")
                 deadline.begin_commit()
             self.accountant.charge(
-                dataset, charged, stage=stage or "answer:direct"
+                dataset,
+                charged,
+                stage=stage or "answer:direct",
+                mechanism=mech_obj.name,
+                delta=getattr(mech_obj, "delta", None),
             )
             if deadline is not None:
                 deadline.mark_committed(charged)
         S = selection_matrix(cols, n)
         faults.check("engine.measure.noise")
-        y = laplace_measure(S, ds.x, charged, rng)
+        y = mech_obj.measure(S, ds.x, charged, rng)
         x_hat = np.zeros(n)
         x_hat[cols] = y  # S⁺ = Sᵀ for a selection matrix
         if cache:
             existing = ds.reconstructions.get(key)
             if existing is None or charged >= existing.eps:
                 ds.reconstructions[key] = Reconstruction(
-                    key=key, strategy=S, x_hat=x_hat, eps=charged
+                    key=key, strategy=S, x_hat=x_hat, eps=charged,
+                    mechanism=mech_obj.name,
                 )
                 self._invalidate_tables(ds, key)
         return key, x_hat, charged
@@ -1124,6 +1180,12 @@ class QueryService:
                         f"answer() got unknown measure options {sorted(unknown)}; "
                         f"valid options are {sorted(ANSWER_MEASURE_OPTIONS)}"
                     )
+                from ..privacy.mechanisms import get_mechanism
+
+                mech_name = get_mechanism(
+                    run_kwargs.get("mechanism", "laplace"),
+                    run_kwargs.get("delta"),
+                ).name
                 with _TRACER.span("serve.measure", route="direct"):
                     key, x_hat, charged = self._measure_misses_direct(
                         dataset,
@@ -1134,11 +1196,14 @@ class QueryService:
                         cache=run_kwargs.get("cache", True),
                         cols=mroute.support_cols,
                         deadline=deadline,
+                        mechanism=run_kwargs.get("mechanism", "laplace"),
+                        delta=run_kwargs.get("delta"),
                     )
                 for i in miss_idx:
                     values = np.asarray(mats[i].matvec(x_hat)).reshape(-1)
                     answers[i] = QueryAnswer(
-                        values=values, hit=False, key=key, route="direct"
+                        values=values, hit=False, key=key, route="direct",
+                        mechanism=mech_name,
                     )
                 return BatchResult(
                     answers=list(answers),  # type: ignore[arg-type]
@@ -1167,6 +1232,7 @@ class QueryService:
                     hit=False,
                     key=result.key,
                     route="warm" if result.from_registry else "cold",
+                    mechanism=result.mechanism,
                 )
                 offset += rows
         return BatchResult(
